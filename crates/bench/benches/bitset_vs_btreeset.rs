@@ -1,0 +1,81 @@
+//! Ablation: fixed-width bitset attribute sets vs `BTreeSet<u16>`.
+//!
+//! Every scheme predicate in the paper (linked, disjoint, connected)
+//! reduces to set algebra; the workspace's `AttrSet` is a 256-bit bitset.
+//! This bench justifies that choice against the obvious tree-set
+//! alternative on the hottest operation mix (union + intersect + subset
+//! tests over a scheme family).
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_relation::{AttrSet, Attribute};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_indices(rng: &mut StdRng, universe: usize, len: usize) -> Vec<usize> {
+    (0..len).map(|_| rng.gen_range(0..universe)).collect()
+}
+
+fn bench_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset_vs_btreeset");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(universe, sets, len) in &[(32usize, 16usize, 6usize), (200, 64, 20)] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let families: Vec<Vec<usize>> = (0..sets)
+            .map(|_| random_indices(&mut rng, universe, len))
+            .collect();
+
+        let bitsets: Vec<AttrSet> = families
+            .iter()
+            .map(|f| AttrSet::from_iter(f.iter().map(|&i| Attribute::from_index(i))))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("bitset", format!("u{universe}_s{sets}")),
+            &bitsets,
+            |b, sets| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for (i, &x) in sets.iter().enumerate() {
+                        for &y in &sets[i + 1..] {
+                            let u = x.union(y);
+                            acc += u.len()
+                                + x.intersects(y) as usize
+                                + x.is_subset_of(u) as usize;
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+
+        let trees: Vec<BTreeSet<u16>> = families
+            .iter()
+            .map(|f| f.iter().map(|&i| i as u16).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("btreeset", format!("u{universe}_s{sets}")),
+            &trees,
+            |b, sets| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for (i, x) in sets.iter().enumerate() {
+                        for y in &sets[i + 1..] {
+                            let u: BTreeSet<u16> = x.union(y).copied().collect();
+                            acc += u.len()
+                                + (x.intersection(y).next().is_some()) as usize
+                                + x.is_subset(&u) as usize;
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sets);
+criterion_main!(benches);

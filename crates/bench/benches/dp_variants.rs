@@ -1,0 +1,46 @@
+//! Ablation: DPsub vs DPsize enumeration for the product-free optimizer.
+//!
+//! Both produce identical plans; DPsub recurses over sub-masks (great for
+//! dense join graphs), DPsize merges pairs of connected subsets (great for
+//! sparse ones, where connected subsets are few).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_cost::SyntheticOracle;
+use mjoin_gen::schemes;
+use mjoin_optimizer::{optimize_with, DpAlgorithm, SearchSpace};
+
+fn bench_dp_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_variants");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[6usize, 10, 14] {
+        for (topo, (_, scheme)) in [("chain", schemes::chain(n)), ("star", schemes::star(n))] {
+            for (name, alg) in [("dpsub", DpAlgorithm::DpSub), ("dpsize", DpAlgorithm::DpSize)] {
+                let scheme = scheme.clone();
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{topo}_{name}"), n),
+                    &scheme,
+                    |b, scheme| {
+                        b.iter(|| {
+                            let mut oracle =
+                                SyntheticOracle::new(scheme.clone(), vec![1000; n], 500);
+                            optimize_with(
+                                &mut oracle,
+                                scheme.full_set(),
+                                SearchSpace::NoCartesian,
+                                alg,
+                            )
+                            .expect("connected")
+                            .cost
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_variants);
+criterion_main!(benches);

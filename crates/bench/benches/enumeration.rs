@@ -1,0 +1,30 @@
+//! Cost of exhaustively enumerating the strategy spaces — the `(2n−3)!!`
+//! wall the paper's introduction motivates escaping from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_gen::schemes;
+use mjoin_hypergraph::RelSet;
+use mjoin_strategy::{enumerate_all, enumerate_linear, enumerate_no_cartesian};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("all", n), &n, |b, &n| {
+            b.iter(|| enumerate_all(RelSet::full(n)).len())
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, &n| {
+            b.iter(|| enumerate_linear(RelSet::full(n)).len())
+        });
+        let (_, chain) = schemes::chain(n);
+        group.bench_with_input(BenchmarkId::new("no_cartesian_chain", n), &chain, |b, s| {
+            b.iter(|| enumerate_no_cartesian(s, s.full_set()).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Section-5 machinery under load: the Bernstein–Chiu full reducer and
+//! Yannakakis evaluation vs direct (unreduced) evaluation, on databases
+//! with heavy dangling-tuple loads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_cost::Database;
+use mjoin_gen::{data, data::DataConfig, schemes};
+use mjoin_hypergraph::JoinTree;
+use mjoin_semijoin::{full_reduce, yannakakis};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dangling_db(n: usize, rows: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(3);
+    let (cat, scheme) = schemes::chain(n);
+    let cfg = DataConfig {
+        tuples_per_relation: rows,
+        // Sparse domain: most tuples dangle, so reduction pays off.
+        domain: (rows * 4) as i64,
+        ensure_nonempty: true,
+    };
+    data::uniform(cat, scheme, &cfg, &mut rng)
+}
+
+fn bench_full_reducer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_reducer");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(n, rows) in &[(4usize, 100usize), (8, 200)] {
+        let db = dangling_db(n, rows);
+        let tree = JoinTree::build(db.scheme()).expect("chains are acyclic");
+        group.bench_with_input(
+            BenchmarkId::new("full_reduce", format!("n{n}_rows{rows}")),
+            &db,
+            |b, db| b.iter(|| full_reduce(db, &tree, 0).state(0).tau()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("yannakakis", format!("n{n}_rows{rows}")),
+            &db,
+            |b, db| b.iter(|| yannakakis(db).expect("acyclic").result.tau()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct_evaluation", format!("n{n}_rows{rows}")),
+            &db,
+            |b, db| b.iter(|| db.evaluate().tau()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_reducer);
+criterion_main!(benches);

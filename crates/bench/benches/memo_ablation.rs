@@ -1,0 +1,47 @@
+//! Ablation: the exact oracle's per-subset memo.
+//!
+//! A DP over subsets asks for many overlapping intermediates; the memo
+//! means each is materialized once. Without it, every `τ` query recomputes
+//! the join chain from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_cost::{CardinalityOracle, ExactOracle};
+use mjoin_gen::{data, data::DataConfig, schemes};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_memo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memo_ablation");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[4usize, 6, 8] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (cat, scheme) = schemes::chain(n);
+        let cfg = DataConfig {
+            tuples_per_relation: 12,
+            domain: 8,
+            ensure_nonempty: true,
+        };
+        let db = data::uniform(cat, scheme, &cfg, &mut rng);
+        // Query τ for every connected subset — the access pattern of the
+        // product-free DP.
+        let subsets = db.scheme().connected_subsets(db.scheme().full_set());
+        group.bench_with_input(BenchmarkId::new("with_memo", n), &db, |b, db| {
+            b.iter(|| {
+                let mut o = ExactOracle::new(db);
+                subsets.iter().map(|&s| o.tau(s)).sum::<u64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("without_memo", n), &db, |b, db| {
+            b.iter(|| {
+                let mut o = ExactOracle::without_memo(db);
+                subsets.iter().map(|&s| o.tau(s)).sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memo);
+criterion_main!(benches);

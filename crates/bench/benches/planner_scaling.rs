@@ -1,0 +1,59 @@
+//! Planner scaling on large queries — the "hundreds of joins" regime the
+//! paper's introduction anticipates, under the synthetic cardinality
+//! model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_cost::SyntheticOracle;
+use mjoin_gen::schemes;
+use mjoin_optimizer::{greedy_bushy, greedy_linear, ikkbz, optimize, optimize_with, DpAlgorithm, SearchSpace};
+
+fn bench_planner_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_scaling");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[10usize, 20, 40] {
+        let (_, scheme) = schemes::chain(n);
+        let fresh = |scheme: &mjoin_hypergraph::DbScheme| {
+            SyntheticOracle::new(scheme.clone(), vec![1000; n], 700)
+        };
+        group.bench_with_input(BenchmarkId::new("dpsize_bushy_nocp", n), &scheme, |b, s| {
+            b.iter(|| {
+                let mut o = fresh(s);
+                optimize_with(&mut o, s.full_set(), SearchSpace::NoCartesian, DpAlgorithm::DpSize)
+                    .expect("connected")
+                    .cost
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear_dp_nocp", n), &scheme, |b, s| {
+            b.iter(|| {
+                let mut o = fresh(s);
+                optimize(&mut o, s.full_set(), SearchSpace::LinearNoCartesian)
+                    .expect("connected")
+                    .cost
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ikkbz", n), &scheme, |b, s| {
+            b.iter(|| {
+                let mut o = fresh(s);
+                ikkbz(&mut o, s.full_set()).expect("tree join graph").cost
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_bushy", n), &scheme, |b, s| {
+            b.iter(|| {
+                let mut o = fresh(s);
+                greedy_bushy(&mut o, s.full_set()).cost
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_linear", n), &scheme, |b, s| {
+            b.iter(|| {
+                let mut o = fresh(s);
+                greedy_linear(&mut o, s.full_set()).cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner_scaling);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Runs the paper-reproduction experiments and prints their tables.
+//!
+//! ```text
+//! cargo run --release -p mjoin-bench --bin experiments            # all
+//! cargo run --release -p mjoin-bench --bin experiments -- E1 G1  # filter by id prefix
+//! cargo run --release -p mjoin-bench --bin experiments -- --list
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = mjoin_bench::all_experiments();
+
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in &registry {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let selected: Vec<_> = registry
+        .into_iter()
+        .filter(|(id, _)| args.is_empty() || args.iter().any(|a| id.starts_with(a.as_str())))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matches {args:?}; try --list");
+        std::process::exit(1);
+    }
+
+    println!("# mjoin — paper experiments (Tay, PODS 1990 / JACM 1993)");
+    println!();
+    for (id, run) in selected {
+        let start = Instant::now();
+        let table = run();
+        println!("{table}");
+        println!("({id} took {:.2?})", start.elapsed());
+        println!();
+    }
+}

@@ -1,0 +1,7 @@
+//! The experiments, grouped by the part of the paper they regenerate.
+
+pub mod applications;
+pub mod counting;
+pub mod examples;
+pub mod sweeps;
+pub mod theorems;

@@ -1,0 +1,116 @@
+//! Plain-text experiment tables.
+
+use std::fmt;
+
+/// One experiment's output: a titled, commented, column-aligned table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. `E1-example1`.
+    pub id: String,
+    /// What the experiment reproduces, and the expected shape.
+    pub commentary: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells, each row as long as `headers`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts an empty table.
+    pub fn new(id: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_owned(),
+            commentary: Vec::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a commentary line (shown above the table).
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.commentary.push(line.into());
+    }
+
+    /// Adds a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Looks a cell up by row index and header name (for tests).
+    pub fn cell(&self, row: usize, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows.get(row).map(|r| r[col].as_str())
+    }
+
+    /// Finds the first row whose first cell equals `key`.
+    pub fn row_by_key(&self, key: &str) -> Option<&[String]> {
+        self.rows
+            .iter()
+            .find(|r| r.first().is_some_and(|c| c == key))
+            .map(|r| r.as_slice())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.id)?;
+        for line in &self.commentary {
+            writeln!(f, "{line}")?;
+        }
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}", w = w))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        writeln!(f, "{}", render_row(&self.headers))?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "| {} |", sep.join(" | "))?;
+        for row in &self.rows {
+            writeln!(f, "{}", render_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("T", &["a", "bb"]);
+        t.note("hello");
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        assert_eq!(t.cell(0, "a"), Some("1"));
+        assert_eq!(t.cell(1, "bb"), Some("4"));
+        assert_eq!(t.cell(2, "a"), None);
+        assert_eq!(t.cell(0, "zz"), None);
+        assert_eq!(t.row_by_key("333").unwrap()[1], "4");
+        let s = t.to_string();
+        assert!(s.contains("## T"));
+        assert!(s.contains("hello"));
+        assert!(s.contains("| 333 | 4  |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,15 @@
+//! The `mjoin` command-line tool. See the library crate docs for the
+//! database file format and commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mjoin_cli::run(&args, |path| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! Command-line interface to the `mjoin` analyzer.
+//!
+//! The binary (`mjoin`) reads a plain-text database description and runs
+//! the paper's machinery over it:
+//!
+//! ```text
+//! mjoin analyze    db.mj            # conditions, theorems, safe space
+//! mjoin optimize   db.mj [SPACE]    # best plan in a search space
+//! mjoin cost       db.mj "EXPR"     # explain a hand-written strategy
+//! mjoin conditions db.mj            # condition report with witnesses
+//! ```
+//!
+//! # Database file format
+//!
+//! ```text
+//! # comments start with '#'
+//! relation AB          # a scheme spec (single letters, or "a,b,c")
+//! 1 10                 # rows: whitespace-separated values; integers
+//! 2 20                 # when they parse, strings otherwise
+//!
+//! relation BC
+//! 10 hello
+//!
+//! fd B -> C            # optional functional dependencies
+//! ```
+//!
+//! All functionality lives in this library so it can be tested; the binary
+//! is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use mjoin::{
+    analyze, optimize, Condition, Database, ExactOracle, SearchSpace,
+    Strategy, Value,
+};
+use mjoin_fd::FdSet;
+use mjoin_hypergraph::DbScheme;
+use mjoin_relation::{Catalog, Relation};
+
+/// A parsed input file: the database plus any declared FDs and
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct Input {
+    /// The database (states may be empty when only statistics are given).
+    pub database: Database,
+    /// Declared functional dependencies (possibly empty).
+    pub fds: FdSet,
+    /// Declared per-relation cardinality estimates (`relation AB 1000`).
+    pub cards: Vec<Option<u64>>,
+    /// Declared attribute domain sizes (`domain B 50`).
+    pub domains: Vec<(String, u64)>,
+}
+
+/// CLI errors, as display-ready strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Parses the database file format described in the crate docs.
+pub fn parse_input(text: &str) -> Result<Input, CliError> {
+    let mut catalog = Catalog::new();
+    let mut specs: Vec<String> = Vec::new();
+    let mut cards: Vec<Option<u64>> = Vec::new();
+    let mut rows: Vec<Vec<Vec<Value>>> = Vec::new();
+    let mut fd_specs: Vec<String> = Vec::new();
+    let mut domains: Vec<(String, u64)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(spec) = line.strip_prefix("relation ") {
+            let mut parts = spec.split_whitespace();
+            let name = parts.next().unwrap_or("").to_string();
+            let card = match parts.next() {
+                Some(tok) => Some(tok.parse::<u64>().map_err(|_| {
+                    CliError(format!("line {}: bad cardinality {tok:?}", lineno + 1))
+                })?),
+                None => None,
+            };
+            specs.push(name);
+            cards.push(card);
+            rows.push(Vec::new());
+        } else if let Some(fd) = line.strip_prefix("fd ") {
+            fd_specs.push(fd.trim().to_string());
+        } else if let Some(dom) = line.strip_prefix("domain ") {
+            let mut parts = dom.split_whitespace();
+            let (Some(attr), Some(size)) = (parts.next(), parts.next()) else {
+                return err(format!("line {}: expected 'domain ATTR SIZE'", lineno + 1));
+            };
+            let size = size.parse::<u64>().map_err(|_| {
+                CliError(format!("line {}: bad domain size {size:?}", lineno + 1))
+            })?;
+            domains.push((attr.to_string(), size));
+        } else {
+            let Some(current) = rows.last_mut() else {
+                return err(format!(
+                    "line {}: row before any 'relation' header",
+                    lineno + 1
+                ));
+            };
+            let values: Vec<Value> = line
+                .split_whitespace()
+                .map(|tok| match tok.parse::<i64>() {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::str(tok),
+                })
+                .collect();
+            current.push(values);
+        }
+    }
+    if specs.is_empty() {
+        return err("no relations declared (expected 'relation <SCHEME>' lines)");
+    }
+
+    let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let scheme = DbScheme::parse(&mut catalog, &spec_refs)
+        .map_err(|e| CliError(format!("bad scheme: {e}")))?;
+    let states = rows
+        .into_iter()
+        .enumerate()
+        .map(|(i, rs)| {
+            Relation::from_rows(scheme.scheme(i), rs)
+                .map_err(|e| CliError(format!("relation {}: {e}", specs[i])))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let fd_refs: Vec<&str> = fd_specs.iter().map(String::as_str).collect();
+    let fds = if fd_refs.is_empty() {
+        FdSet::new()
+    } else {
+        FdSet::parse(&mut catalog, &fd_refs)
+    };
+    Ok(Input {
+        database: Database::new(catalog, scheme, states),
+        fds,
+        cards,
+        domains,
+    })
+}
+
+/// Builds a synthetic oracle from the declared statistics: cardinalities
+/// default to the actual state size (or 1000 when no rows were given),
+/// domains default to 100.
+pub fn synthetic_oracle(input: &Input) -> Result<mjoin::SyntheticOracle, CliError> {
+    let db = &input.database;
+    let bases: Vec<u64> = (0..db.len())
+        .map(|i| {
+            input.cards[i].unwrap_or_else(|| {
+                let t = db.state(i).tau();
+                if t > 0 {
+                    t
+                } else {
+                    1000
+                }
+            })
+        })
+        .collect();
+    let mut oracle = mjoin::SyntheticOracle::new(db.scheme().clone(), bases, 100);
+    for (name, size) in &input.domains {
+        let Some(attr) = db.catalog().lookup(name) else {
+            return err(format!("domain declared for unknown attribute {name:?}"));
+        };
+        if *size == 0 {
+            return err(format!("domain size for {name:?} must be ≥ 1"));
+        }
+        oracle.set_domain(attr.index(), *size);
+    }
+    Ok(oracle)
+}
+
+fn parse_space(s: &str) -> Result<SearchSpace, CliError> {
+    match s {
+        "all" => Ok(SearchSpace::All),
+        "linear" => Ok(SearchSpace::Linear),
+        "nocp" | "no-cartesian" => Ok(SearchSpace::NoCartesian),
+        "linear-nocp" | "linear-no-cartesian" => Ok(SearchSpace::LinearNoCartesian),
+        "avoid" | "avoid-cartesian" => Ok(SearchSpace::AvoidCartesian),
+        other => err(format!(
+            "unknown search space {other:?} (expected all | linear | nocp | linear-nocp | avoid)"
+        )),
+    }
+}
+
+/// Runs a CLI invocation (`args` excludes the program name) against `read`,
+/// a file loader — injected so tests run without a filesystem. Returns the
+/// full report text.
+pub fn run<F>(args: &[String], read: F) -> Result<String, CliError>
+where
+    F: Fn(&str) -> Result<String, String>,
+{
+    let usage = "usage: mjoin <analyze|optimize|cost|conditions|compare|estimate|dot|show> <db-file> [ARGS]\n\
+                 \n\
+                 analyze    DB             conditions, theorems, recommended search space\n\
+                 optimize   DB [SPACE]     cheapest plan (SPACE: all | linear | nocp | linear-nocp | avoid)\n\
+                 cost       DB EXPR        explain a strategy, e.g. \"(AB ⋈ BC) ⋈ CD\"\n\
+                 conditions DB             per-condition verdicts with violation witnesses\n\
+                 compare    DB             every search space and heuristic side by side\n\
+                 estimate   DB [SPACE]     plan from declared statistics (relation R CARD / domain A SIZE)\n\
+                 dot        DB [SPACE]     best plan as a Graphviz digraph\n\
+                 show       DB             print every relation state and the join result";
+    let Some(command) = args.first() else {
+        return err(usage);
+    };
+    if command == "help" || command == "--help" {
+        return Ok(usage.to_string());
+    }
+    let Some(path) = args.get(1) else {
+        return err(format!("missing database file\n{usage}"));
+    };
+    let text = read(path).map_err(CliError)?;
+    let input = parse_input(&text)?;
+    let db = &input.database;
+    let mut out = String::new();
+
+    match command.as_str() {
+        "analyze" => {
+            let a = analyze(db);
+            let _ = writeln!(out, "relations: {}", db.len());
+            for (i, s) in db.scheme().schemes().iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  {} ({} tuples)",
+                    db.catalog().render(*s),
+                    db.state(i).tau()
+                );
+            }
+            let _ = writeln!(out, "connected: {}", a.connected);
+            let _ = writeln!(out, "R_D nonempty: {}", a.result_nonempty);
+            let _ = writeln!(out, "acyclicity: {:?}", a.acyclicity);
+            let _ = writeln!(
+                out,
+                "conditions: C1={} C1'={} C2={} C3={} C4={}",
+                a.conditions.c1,
+                a.conditions.c1_strict,
+                a.conditions.c2,
+                a.conditions.c3,
+                a.conditions.c4
+            );
+            for (name, r) in [
+                ("theorem 1", a.theorem1),
+                ("theorem 2", a.theorem2),
+                ("theorem 3", a.theorem3),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "{name}: preconditions={} conclusion={}",
+                    r.preconditions_hold, r.conclusion_holds
+                );
+            }
+            if !input.fds.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "declared FDs: {} (all joins on superkeys: {})",
+                    input.fds.len(),
+                    mjoin_fd::all_joins_on_superkeys(db.scheme(), &input.fds)
+                );
+            }
+            let safe = a.safe_search_space();
+            let _ = writeln!(out, "recommended search space: {safe:?}");
+            let mut oracle = ExactOracle::new(db);
+            if let Some(plan) = optimize(&mut oracle, db.scheme().full_set(), safe) {
+                let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
+            }
+        }
+        "optimize" => {
+            let space = match args.get(2) {
+                Some(s) => parse_space(s)?,
+                None => SearchSpace::All,
+            };
+            let mut oracle = ExactOracle::new(db);
+            match optimize(&mut oracle, db.scheme().full_set(), space) {
+                Some(plan) => {
+                    let _ = writeln!(out, "search space: {space:?}");
+                    let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "search space {space:?} is empty for this (unconnected) scheme"
+                    );
+                }
+            }
+        }
+        "cost" => {
+            let Some(expr) = args.get(2) else {
+                return err("cost requires a strategy expression");
+            };
+            let strategy = Strategy::parse(expr, db.catalog(), db.scheme())
+                .map_err(|e| CliError(e.to_string()))?;
+            if strategy.set() != db.scheme().full_set() {
+                return err("the strategy must mention every relation exactly once");
+            }
+            let mut oracle = ExactOracle::new(db);
+            let cost = strategy.cost(&mut oracle);
+            let plan = mjoin::Plan { strategy, cost };
+            let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
+            let best = optimize(&mut oracle, db.scheme().full_set(), SearchSpace::All)
+                .expect("full space");
+            let _ = writeln!(
+                out,
+                "global optimum: τ = {} ({})",
+                best.cost,
+                if best.cost == cost {
+                    "this strategy is τ-optimum".to_string()
+                } else {
+                    format!("this strategy is {:.2}× worse", cost as f64 / best.cost as f64)
+                }
+            );
+        }
+        "estimate" => {
+            let space = match args.get(2) {
+                Some(sp) => parse_space(sp)?,
+                None => SearchSpace::All,
+            };
+            let mut oracle = synthetic_oracle(&input)?;
+            match optimize(&mut oracle, db.scheme().full_set(), space) {
+                Some(plan) => {
+                    let _ = writeln!(out, "search space: {space:?} (synthetic cardinality model)");
+                    let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "search space {space:?} is empty for this (unconnected) scheme"
+                    );
+                }
+            }
+        }
+        "dot" => {
+            let space = match args.get(2) {
+                Some(sp) => parse_space(sp)?,
+                None => SearchSpace::All,
+            };
+            let mut oracle = ExactOracle::new(db);
+            let Some(plan) = optimize(&mut oracle, db.scheme().full_set(), space) else {
+                return err(format!("search space {space:?} is empty for this scheme"));
+            };
+            let _ = write!(out, "{}", plan.strategy.to_dot(db.catalog(), db.scheme()));
+        }
+        "compare" => {
+            let mut oracle = ExactOracle::new(db);
+            let full = db.scheme().full_set();
+            let best = optimize(&mut oracle, full, SearchSpace::All)
+                .expect("full space")
+                .cost;
+            let _ = writeln!(out, "{:<22} {:>8}  {:>7}  plan", "planner", "τ", "vs best");
+            let mut report = |name: &str, plan: Option<mjoin::Plan>| {
+                match plan {
+                    Some(p) => {
+                        let _ = writeln!(
+                            out,
+                            "{:<22} {:>8}  {:>6.2}x  {}",
+                            name,
+                            p.cost,
+                            p.cost as f64 / best.max(1) as f64,
+                            p.strategy.render(db.catalog(), db.scheme())
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name:<22} {:>8}  {:>7}  (space is empty)", "-", "-");
+                    }
+                }
+            };
+            report("exhaustive (all)", optimize(&mut oracle, full, SearchSpace::All));
+            report("linear", optimize(&mut oracle, full, SearchSpace::Linear));
+            report("no-cartesian", optimize(&mut oracle, full, SearchSpace::NoCartesian));
+            report(
+                "linear no-cartesian",
+                optimize(&mut oracle, full, SearchSpace::LinearNoCartesian),
+            );
+            report(
+                "avoid-cartesian",
+                optimize(&mut oracle, full, SearchSpace::AvoidCartesian),
+            );
+            report("ikkbz (tree queries)", mjoin::ikkbz(&mut oracle, full));
+            report(
+                "greedy bushy",
+                Some(mjoin_optimizer::greedy_bushy(&mut oracle, full)),
+            );
+            report(
+                "greedy linear",
+                Some(mjoin_optimizer::greedy_linear(&mut oracle, full)),
+            );
+            let bp = mjoin::best_bottleneck(&mut oracle, full);
+            let _ = writeln!(
+                out,
+                "{:<22} {:>8}  {:>7}  {}   (cost shown = largest intermediate)",
+                "min-bottleneck",
+                bp.cost,
+                "-",
+                bp.strategy.render(db.catalog(), db.scheme())
+            );
+        }
+        "show" => {
+            for (i, s) in db.scheme().schemes().iter().enumerate() {
+                let _ = writeln!(out, "-- {} ({} tuples)", db.catalog().render(*s), db.state(i).tau());
+                let _ = writeln!(out, "{}", db.state(i).to_text(db.catalog()));
+                let _ = writeln!(out);
+            }
+            let result = db.evaluate();
+            let _ = writeln!(out, "-- R_D = join of all relations ({} tuples)", result.tau());
+            let _ = writeln!(out, "{}", result.to_text(db.catalog()));
+        }
+        "conditions" => {
+            let mut oracle = ExactOracle::new(db);
+            for cond in [
+                Condition::C1,
+                Condition::C1Strict,
+                Condition::C2,
+                Condition::C3,
+                Condition::C4,
+            ] {
+                match mjoin::first_violation(&mut oracle, cond) {
+                    None => {
+                        let _ = writeln!(out, "{cond}: holds");
+                    }
+                    Some(v) => {
+                        let witness: Vec<String> = v
+                            .witness
+                            .iter()
+                            .map(|&w| db.scheme().render(db.catalog(), w))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "{cond}: VIOLATED at {} — {}",
+                            witness.join(", "),
+                            v.detail
+                        );
+                    }
+                }
+            }
+        }
+        other => return err(format!("unknown command {other:?}\n{usage}")),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Example 4 from the paper
+relation GS
+Hockey Mokhtar
+Tennis Mokhtar
+Tennis Lin
+
+relation SC
+Mokhtar Lang22
+Mokhtar Lit104
+Mokhtar Phy101
+Lin Phy101
+Lin Hist103
+Lin Psch123
+Katina Lang22
+Katina Lit104
+Katina Phy101
+Sundram Phy101
+Sundram Lang22
+Sundram Hist103
+
+relation CL
+Phy101 Fermi
+Lang22 Chomsky
+";
+
+    fn fake_fs(path: &str) -> Result<String, String> {
+        if path == "db.mj" {
+            Ok(SAMPLE.to_string())
+        } else {
+            Err(format!("no such file: {path}"))
+        }
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        run(
+            &args.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            fake_fs,
+        )
+        .expect("command succeeds")
+    }
+
+    #[test]
+    fn parse_input_shapes() {
+        let input = parse_input(SAMPLE).unwrap();
+        assert_eq!(input.database.len(), 3);
+        assert_eq!(input.database.state(0).tau(), 3);
+        assert_eq!(input.database.state(1).tau(), 12);
+        assert!(input.fds.is_empty());
+    }
+
+    #[test]
+    fn parse_input_with_fds_and_ints() {
+        let text = "relation AB\n1 10\n2 20\nrelation BC\n10 5\nfd B -> C\n";
+        let input = parse_input(text).unwrap();
+        assert_eq!(input.fds.len(), 1);
+        assert_eq!(input.database.state(0).tau(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_input("").is_err());
+        assert!(parse_input("1 2 3\n").is_err()); // row before relation
+        assert!(parse_input("relation AB\n1\n").is_err()); // arity mismatch
+    }
+
+    #[test]
+    fn analyze_command() {
+        let out = run_ok(&["analyze", "db.mj"]);
+        assert!(out.contains("connected: true"));
+        assert!(out.contains("C1=false"), "{out}");
+        assert!(out.contains("C2=true"), "{out}");
+        assert!(out.contains("recommended search space: All"));
+    }
+
+    #[test]
+    fn optimize_command_spaces() {
+        let all = run_ok(&["optimize", "db.mj"]);
+        assert!(all.contains("τ = 6 + 5 = 11"), "{all}");
+        let nocp = run_ok(&["optimize", "db.mj", "nocp"]);
+        assert!(nocp.contains("= 12"), "{nocp}");
+        assert!(run(
+            &["optimize".into(), "db.mj".into(), "bogus".into()],
+            fake_fs
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cost_command_matches_paper() {
+        let out = run_ok(&["cost", "db.mj", "(GS ⋈ SC) ⋈ CL"]);
+        assert!(out.contains("τ = 9 + 5 = 14"), "{out}");
+        assert!(out.contains("1.27× worse"), "{out}");
+        let opt = run_ok(&["cost", "db.mj", "(GS ⋈ CL) ⋈ SC"]);
+        assert!(opt.contains("τ-optimum"), "{opt}");
+    }
+
+    #[test]
+    fn conditions_command() {
+        let out = run_ok(&["conditions", "db.mj"]);
+        assert!(out.contains("C1: VIOLATED"), "{out}");
+        assert!(out.contains("C2: holds"), "{out}");
+    }
+
+    #[test]
+    fn show_command_prints_tables() {
+        let out = run_ok(&["show", "db.mj"]);
+        assert!(out.contains("-- GS (3 tuples)"), "{out}");
+        assert!(out.contains("Hockey"), "{out}");
+        assert!(out.contains("R_D = join of all relations"), "{out}");
+    }
+
+    #[test]
+    fn compare_command_lists_all_planners() {
+        let out = run_ok(&["compare", "db.mj"]);
+        for name in [
+            "exhaustive (all)",
+            "linear no-cartesian",
+            "avoid-cartesian",
+            "greedy bushy",
+            "min-bottleneck",
+        ] {
+            assert!(out.contains(name), "missing {name}: {out}");
+        }
+        // Example 4: the exhaustive optimum is 11, product-free spaces 12.
+        assert!(out.contains("11"), "{out}");
+        assert!(out.contains("1.09x"), "{out}");
+    }
+
+    const SCHEMA_ONLY: &str = "\
+relation AB 1000
+relation BC 1000
+relation CD 1000
+domain B 100000
+domain C 10
+";
+
+    fn fake_fs2(path: &str) -> Result<String, String> {
+        if path == "db.mj" {
+            Ok(SAMPLE.to_string())
+        } else if path == "schema.mj" {
+            Ok(SCHEMA_ONLY.to_string())
+        } else {
+            Err(format!("no such file: {path}"))
+        }
+    }
+
+    #[test]
+    fn estimate_command_plans_from_statistics() {
+        let out = run(
+            &["estimate".to_string(), "schema.mj".to_string()],
+            fake_fs2,
+        )
+        .unwrap();
+        assert!(out.contains("synthetic cardinality model"), "{out}");
+        // The selective B attribute forces AB ⋈ BC first (10 tuples).
+        assert!(out.contains("AB ⋈ BC"), "{out}");
+        let out2 = run(
+            &[
+                "estimate".to_string(),
+                "schema.mj".to_string(),
+                "linear".to_string(),
+            ],
+            fake_fs2,
+        )
+        .unwrap();
+        assert!(out2.contains("Linear"), "{out2}");
+    }
+
+    #[test]
+    fn estimate_parses_statistics() {
+        let input = parse_input(SCHEMA_ONLY).unwrap();
+        assert_eq!(input.cards, vec![Some(1000), Some(1000), Some(1000)]);
+        assert_eq!(input.domains.len(), 2);
+        assert!(input.database.state(0).is_empty());
+        let mut oracle = synthetic_oracle(&input).unwrap();
+        use mjoin::{CardinalityOracle, RelSet};
+        assert_eq!(oracle.tau(RelSet::singleton(0)), 1000);
+        // AB ⋈ BC over B (domain 100000): 1000·1000/100000 = 10.
+        assert_eq!(oracle.tau(RelSet::from_indices([0, 1])), 10);
+        // Bad statistics are rejected.
+        assert!(parse_input("relation AB xyz\n").is_err());
+        assert!(parse_input("relation AB 10\ndomain\n").is_err());
+        assert!(synthetic_oracle(&parse_input("relation AB 10\ndomain Z 5\n").unwrap()).is_err());
+    }
+
+    #[test]
+    fn dot_command_emits_graphviz() {
+        let out = run_ok(&["dot", "db.mj"]);
+        assert!(out.starts_with("digraph strategy {"), "{out}");
+        assert!(out.contains("GS"), "{out}");
+        assert!(out.contains("style=dashed"), "Example 4's optimum uses a product");
+    }
+
+    #[test]
+    fn usage_and_errors() {
+        assert!(run(&[], fake_fs).is_err());
+        assert!(run(&["help".to_string()], fake_fs).unwrap().contains("usage"));
+        assert!(run(&["analyze".to_string()], fake_fs).is_err());
+        assert!(run(
+            &["analyze".to_string(), "missing.mj".to_string()],
+            fake_fs
+        )
+        .is_err());
+        assert!(run(
+            &["frobnicate".to_string(), "db.mj".to_string()],
+            fake_fs
+        )
+        .is_err());
+        // cost with a partial strategy is rejected.
+        assert!(run(
+            &["cost".to_string(), "db.mj".to_string(), "GS ⋈ SC".to_string()],
+            fake_fs
+        )
+        .is_err());
+    }
+}

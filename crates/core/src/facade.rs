@@ -1,0 +1,120 @@
+//! One-call façade: analyze a database against the whole paper.
+
+use mjoin_cost::{Database, ExactOracle};
+use mjoin_hypergraph::Acyclicity;
+use mjoin_optimizer::{optimize, Plan, SearchSpace};
+
+use crate::conditions::{condition_report, ConditionReport};
+use crate::theorems::{theorem1, theorem2, theorem3, TheoremReport};
+
+/// Everything the paper says about one concrete database.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Is the database scheme connected?
+    pub connected: bool,
+    /// Is `R_D ≠ φ` (the theorems' standing assumption)?
+    pub result_nonempty: bool,
+    /// The scheme's acyclicity degree (Section 5 context).
+    pub acyclicity: Acyclicity,
+    /// Which of `C1`, `C1'`, `C2`, `C3`, `C4` hold.
+    pub conditions: ConditionReport,
+    /// Theorem 1: preconditions and conclusion.
+    pub theorem1: TheoremReport,
+    /// Theorem 2: preconditions and conclusion.
+    pub theorem2: TheoremReport,
+    /// Theorem 3: preconditions and conclusion.
+    pub theorem3: TheoremReport,
+}
+
+impl Analysis {
+    /// The cheapest *safe* restriction the paper licenses for this
+    /// database: the smallest search space still guaranteed (by the
+    /// applicable theorem) to contain a τ-optimum strategy.
+    pub fn safe_search_space(&self) -> SearchSpace {
+        if self.theorem3.preconditions_hold {
+            SearchSpace::LinearNoCartesian
+        } else if self.theorem2.preconditions_hold {
+            SearchSpace::NoCartesian
+        } else {
+            SearchSpace::All
+        }
+    }
+}
+
+/// Runs every checker in the crate against `db` (exact cardinalities).
+///
+/// Exponential in `|D|` — intended for the theory-scale databases the
+/// paper's examples and experiments use (`n ≲ 8`).
+pub fn analyze(db: &Database) -> Analysis {
+    let mut oracle = ExactOracle::new(db);
+    let full = db.scheme().full_set();
+    Analysis {
+        connected: db.scheme().connected(full),
+        result_nonempty: !db.evaluate().is_empty(),
+        acyclicity: db.scheme().acyclicity(),
+        conditions: condition_report(&mut oracle),
+        theorem1: theorem1(&mut oracle),
+        theorem2: theorem2(&mut oracle),
+        theorem3: theorem3(&mut oracle),
+    }
+}
+
+/// Optimizes `db` over `space` with exact cardinalities. `None` iff the
+/// space is empty for this scheme (product-free spaces over unconnected
+/// schemes).
+pub fn optimize_database(db: &Database, space: SearchSpace) -> Option<Plan> {
+    let mut oracle = ExactOracle::new(db);
+    optimize(&mut oracle, db.scheme().full_set(), space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_gen::data;
+
+    #[test]
+    fn analysis_of_example5() {
+        let db = data::paper_example5();
+        let a = analyze(&db);
+        assert!(a.connected);
+        assert!(a.result_nonempty);
+        assert!(a.conditions.c1 && a.conditions.c2 && !a.conditions.c3);
+        assert!(a.theorem2.preconditions_hold);
+        assert!(!a.theorem3.preconditions_hold);
+        assert_eq!(a.safe_search_space(), SearchSpace::NoCartesian);
+    }
+
+    #[test]
+    fn analysis_of_example1() {
+        let db = data::paper_example1();
+        let a = analyze(&db);
+        assert!(!a.connected);
+        assert!(a.conditions.c1 && !a.conditions.c2);
+        assert_eq!(a.safe_search_space(), SearchSpace::All);
+    }
+
+    #[test]
+    fn safe_space_is_actually_safe_on_the_examples() {
+        for db in [
+            data::paper_example1(),
+            data::paper_example3(),
+            data::paper_example4(),
+            data::paper_example5(),
+        ] {
+            let a = analyze(&db);
+            let safe = optimize_database(&db, a.safe_search_space())
+                .expect("safe space is nonempty by construction");
+            let best = optimize_database(&db, SearchSpace::All).expect("full space");
+            assert_eq!(safe.cost, best.cost, "safe space missed the optimum");
+        }
+    }
+
+    #[test]
+    fn optimize_database_spaces() {
+        let db = data::paper_example4();
+        let best = optimize_database(&db, SearchSpace::All).unwrap();
+        assert_eq!(best.cost, 11); // Example 4's S3
+        let nocp = optimize_database(&db, SearchSpace::NoCartesian).unwrap();
+        assert_eq!(nocp.cost, 12); // S2 is the best product-free strategy
+    }
+}

@@ -1,0 +1,220 @@
+//! The paper's database: a scheme paired with relation states.
+
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_relation::{Catalog, Relation, RelationError, Value};
+
+/// A database `𝒟 = (𝐃, D)`: a database scheme together with one relation
+/// state per relation scheme, plus the attribute catalog naming everything.
+#[derive(Clone, Debug)]
+pub struct Database {
+    catalog: Catalog,
+    scheme: DbScheme,
+    states: Vec<Relation>,
+}
+
+impl Database {
+    /// Builds a database, checking that the `i`-th state is over the `i`-th
+    /// relation scheme.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ or any state's scheme mismatches its
+    /// declared relation scheme — these are programming errors at the call
+    /// site, not data conditions.
+    pub fn new(catalog: Catalog, scheme: DbScheme, states: Vec<Relation>) -> Self {
+        assert_eq!(
+            scheme.len(),
+            states.len(),
+            "one relation state per relation scheme"
+        );
+        for (i, st) in states.iter().enumerate() {
+            assert_eq!(
+                st.scheme(),
+                scheme.scheme(i),
+                "state {i} is not over its declared scheme"
+            );
+        }
+        Database {
+            catalog,
+            scheme,
+            states,
+        }
+    }
+
+    /// Convenience constructor from parallel spec/row lists, e.g.
+    ///
+    /// ```
+    /// use mjoin_cost::Database;
+    /// let db = Database::from_specs(&[
+    ///     ("AB", vec![vec![1, 10], vec![2, 20]]),
+    ///     ("BC", vec![vec![10, 5]]),
+    /// ]).unwrap();
+    /// assert_eq!(db.scheme().len(), 2);
+    /// ```
+    pub fn from_specs(specs: &[(&str, Vec<Vec<i64>>)]) -> Result<Self, RelationError> {
+        let mut catalog = Catalog::new();
+        let scheme = DbScheme::parse(
+            &mut catalog,
+            &specs.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        )?;
+        let states = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, rows))| Relation::from_int_rows(scheme.scheme(i), rows.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Database::new(catalog, scheme, states))
+    }
+
+    /// Like [`Database::from_specs`] but with arbitrary values (strings),
+    /// for transcribing the paper's Examples 3–5.
+    pub fn from_value_specs(specs: &[(&str, Vec<Vec<Value>>)]) -> Result<Self, RelationError> {
+        let mut catalog = Catalog::new();
+        let scheme = DbScheme::parse(
+            &mut catalog,
+            &specs.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        )?;
+        let states = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, rows))| Relation::from_rows(scheme.scheme(i), rows.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Database::new(catalog, scheme, states))
+    }
+
+    /// The attribute catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The database scheme **D**.
+    pub fn scheme(&self) -> &DbScheme {
+        &self.scheme
+    }
+
+    /// The relation states, index-aligned with the scheme.
+    pub fn states(&self) -> &[Relation] {
+        &self.states
+    }
+
+    /// The `i`-th relation state.
+    pub fn state(&self, i: usize) -> &Relation {
+        &self.states[i]
+    }
+
+    /// Number of relations, `|D|`.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// A database always has at least one relation.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Evaluates the database: `R_D = ⋈_{R ∈ D} R`, joining in index order.
+    ///
+    /// The result is order-independent (joins commute and associate); the
+    /// cost of *this particular* evaluation order is irrelevant here — use
+    /// strategies and oracles to reason about cost.
+    pub fn evaluate(&self) -> Relation {
+        self.evaluate_subset(self.scheme.full_set())
+    }
+
+    /// Evaluates `R_{D′}` for a nonempty subset.
+    pub fn evaluate_subset(&self, subset: RelSet) -> Relation {
+        let mut it = subset.iter();
+        let first = it.next().expect("subset must be nonempty");
+        let mut acc = self.states[first].clone();
+        for i in it {
+            acc = acc.natural_join(&self.states[i]);
+        }
+        acc
+    }
+
+    /// Replaces the `i`-th relation state (used by semijoin reducers).
+    ///
+    /// # Panics
+    /// Panics if the new state's scheme differs.
+    pub fn replace_state(&mut self, i: usize, state: Relation) {
+        assert_eq!(state.scheme(), self.scheme.scheme(i), "scheme mismatch");
+        self.states[i] = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_specs_round_trip() {
+        let db = Database::from_specs(&[
+            ("AB", vec![vec![1, 10], vec![2, 20]]),
+            ("BC", vec![vec![10, 5], vec![20, 6], vec![30, 7]]),
+        ])
+        .unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.state(0).tau(), 2);
+        assert_eq!(db.state(1).tau(), 3);
+        assert_eq!(db.evaluate().tau(), 2);
+    }
+
+    #[test]
+    fn evaluate_subset() {
+        let db = Database::from_specs(&[
+            ("AB", vec![vec![1, 10]]),
+            ("BC", vec![vec![10, 5]]),
+            ("CD", vec![vec![5, 9], vec![6, 9]]),
+        ])
+        .unwrap();
+        assert_eq!(db.evaluate_subset(RelSet::singleton(2)).tau(), 2);
+        assert_eq!(db.evaluate_subset(RelSet::from_indices([0, 1])).tau(), 1);
+        assert_eq!(db.evaluate().tau(), 1);
+    }
+
+    #[test]
+    fn evaluation_is_order_independent() {
+        let db = Database::from_specs(&[
+            ("AB", vec![vec![1, 10], vec![2, 20]]),
+            ("BC", vec![vec![10, 5], vec![10, 6]]),
+            ("CD", vec![vec![5, 0], vec![6, 0], vec![7, 0]]),
+        ])
+        .unwrap();
+        let r012 = db.evaluate();
+        let r_alt = db
+            .state(2)
+            .natural_join(db.state(0))
+            .natural_join(db.state(1));
+        assert_eq!(r012, r_alt);
+    }
+
+    #[test]
+    #[should_panic(expected = "one relation state per relation scheme")]
+    fn mismatched_lengths_panic() {
+        let mut cat = Catalog::new();
+        let scheme = DbScheme::parse(&mut cat, &["AB", "BC"]).unwrap();
+        let r = Relation::empty(scheme.scheme(0));
+        let _ = Database::new(cat, scheme, vec![r]);
+    }
+
+    #[test]
+    fn replace_state() {
+        let mut db = Database::from_specs(&[("AB", vec![vec![1, 2]])]).unwrap();
+        let new_state =
+            Relation::from_int_rows(db.scheme().scheme(0), vec![vec![3, 4], vec![5, 6]]).unwrap();
+        db.replace_state(0, new_state);
+        assert_eq!(db.state(0).tau(), 2);
+    }
+
+    #[test]
+    fn value_specs() {
+        use mjoin_relation::Value;
+        let db = Database::from_value_specs(&[(
+            "GS",
+            vec![
+                vec![Value::str("Hockey"), Value::str("Mokhtar")],
+                vec![Value::str("Tennis"), Value::str("Lin")],
+            ],
+        )])
+        .unwrap();
+        assert_eq!(db.state(0).tau(), 2);
+    }
+}

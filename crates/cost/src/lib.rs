@@ -1,0 +1,27 @@
+//! Databases and cardinality oracles.
+//!
+//! The paper's cost measure is `τ` — *the number of tuples generated* by the
+//! intermediate and final joins of a strategy. Everything in the theory
+//! depends on the relations only through the map `D′ ↦ τ(R_{D′})`, so this
+//! crate abstracts that map behind the [`CardinalityOracle`] trait and
+//! provides:
+//!
+//! * [`Database`] — a database scheme paired with relation states, the
+//!   paper's pair `(𝐃, D)`;
+//! * [`ExactOracle`] — materializes every requested intermediate join once
+//!   (memoized by scheme subset) and reports exact tuple counts. This is
+//!   the ground truth the theorems are stated over;
+//! * [`SyntheticOracle`] — a closed-form cardinality model (uniformity +
+//!   independence + per-attribute domains) for experiments on queries far
+//!   too large to materialize. The paper explicitly distrusts these
+//!   assumptions for *proving* optimality — we use the model only to drive
+//!   the large-n linear-vs-bushy sweeps, never inside the theorem checkers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod database;
+mod oracle;
+
+pub use database::Database;
+pub use oracle::{CardinalityOracle, ExactOracle, SyntheticOracle};

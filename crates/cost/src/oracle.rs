@@ -1,0 +1,366 @@
+//! Cardinality oracles: the map `D′ ↦ τ(R_{D′})`.
+
+use std::collections::HashMap;
+
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_relation::Relation;
+
+use crate::database::Database;
+
+/// Reports `τ(R_{D′})` for subsets `D′` of a fixed database scheme.
+///
+/// Every result in the paper is a statement about this map; strategies,
+/// condition checkers and optimizers all consume it rather than raw
+/// relations, so exact evaluation and synthetic models are interchangeable.
+pub trait CardinalityOracle {
+    /// The database scheme the oracle speaks about.
+    fn scheme(&self) -> &DbScheme;
+
+    /// `τ(R_{D′})` for a nonempty subset `D′`.
+    fn tau(&mut self, subset: RelSet) -> u64;
+
+    /// `τ` of the join of two disjoint subsets, `τ(R_{D₁} ⋈ R_{D₂})`.
+    ///
+    /// Default: delegates to `tau(D₁ ∪ D₂)` (the join of the joins is the
+    /// join of the union — associativity/commutativity of ⋈).
+    fn tau_join(&mut self, d1: RelSet, d2: RelSet) -> u64 {
+        debug_assert!(d1.is_disjoint(d2));
+        self.tau(d1.union(d2))
+    }
+
+    /// Is the full join empty (`R_D = φ`)? The theorems all assume it is
+    /// not (an empty intermediate lets evaluation abort early).
+    fn result_is_empty(&mut self) -> bool {
+        self.tau(self.scheme().full_set()) == 0
+    }
+}
+
+/// Exact oracle: materializes intermediate joins, memoized per subset.
+///
+/// The memo means a dynamic program touching all `2ⁿ` subsets evaluates
+/// each intermediate once; the bench `memo_ablation` quantifies the saving.
+pub struct ExactOracle<'a> {
+    db: &'a Database,
+    memo_enabled: bool,
+    memo: HashMap<RelSet, Relation>,
+}
+
+impl<'a> ExactOracle<'a> {
+    /// A memoizing exact oracle over `db`.
+    pub fn new(db: &'a Database) -> Self {
+        ExactOracle {
+            db,
+            memo_enabled: true,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// An exact oracle that recomputes every join from scratch — only
+    /// useful as the baseline of the memoization ablation.
+    pub fn without_memo(db: &'a Database) -> Self {
+        ExactOracle {
+            db,
+            memo_enabled: false,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// The materialized relation `R_{D′}` (memoized).
+    pub fn relation(&mut self, subset: RelSet) -> Relation {
+        assert!(!subset.is_empty(), "τ is defined for nonempty subsets");
+        if let Some(r) = self.memo.get(&subset) {
+            return r.clone();
+        }
+        let result = if subset.is_singleton() {
+            self.db.state(subset.first().expect("nonempty")).clone()
+        } else {
+            // Split off the lowest member; reuse the memoized rest.
+            let lowest = subset.first().expect("nonempty");
+            let rest = subset.difference(RelSet::singleton(lowest));
+            let rest_rel = self.relation(rest);
+            rest_rel.natural_join(self.db.state(lowest))
+        };
+        if self.memo_enabled {
+            self.memo.insert(subset, result.clone());
+        }
+        result
+    }
+
+    /// Number of memoized intermediates (for tests/benches).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+impl CardinalityOracle for ExactOracle<'_> {
+    fn scheme(&self) -> &DbScheme {
+        self.db.scheme()
+    }
+
+    fn tau(&mut self, subset: RelSet) -> u64 {
+        self.relation(subset).tau()
+    }
+}
+
+/// Closed-form cardinality model: uniformity + independence + containment.
+///
+/// Each attribute `A` has a domain size `d_A`; relation `i` has base
+/// cardinality `nᵢ`. The estimated size of `⋈_{i ∈ S} Rᵢ` is the textbook
+/// System-R formula
+///
+/// ```text
+/// τ(S) = (Π_{i∈S} nᵢ) / (Π_{A} d_A^(c_A − 1))    where c_A = |{i ∈ S : A ∈ Rᵢ}|
+/// ```
+///
+/// clamped to at least 1 (the theorems assume `R_D ≠ φ`). The model is used
+/// **only** for large-scale sweeps where exact evaluation is impossible;
+/// the paper itself criticizes these assumptions (Section 1), and our
+/// experiments keep the theorem checking on the exact oracle.
+#[derive(Clone, Debug)]
+pub struct SyntheticOracle {
+    scheme: DbScheme,
+    base: Vec<u64>,
+    /// Domain size per attribute index; attributes absent from the map get
+    /// `default_domain`.
+    domains: HashMap<usize, u64>,
+    default_domain: u64,
+}
+
+impl SyntheticOracle {
+    /// Builds a model with per-relation base cardinalities and a default
+    /// attribute domain size.
+    ///
+    /// # Panics
+    /// Panics if `base.len() != scheme.len()`, any base cardinality is 0, or
+    /// `default_domain == 0`.
+    pub fn new(scheme: DbScheme, base: Vec<u64>, default_domain: u64) -> Self {
+        assert_eq!(scheme.len(), base.len(), "one cardinality per relation");
+        assert!(base.iter().all(|&b| b > 0), "base cardinalities must be ≥ 1");
+        assert!(default_domain > 0, "domains must be ≥ 1");
+        SyntheticOracle {
+            scheme,
+            base,
+            domains: HashMap::new(),
+            default_domain,
+        }
+    }
+
+    /// Overrides the domain size of one attribute.
+    pub fn set_domain(&mut self, attr_index: usize, size: u64) {
+        assert!(size > 0, "domains must be ≥ 1");
+        self.domains.insert(attr_index, size);
+    }
+
+    /// Builds the model from **catalog statistics** of an actual database:
+    /// base cardinalities are the true relation sizes, and each
+    /// attribute's domain is its observed number of distinct values
+    /// (across all relations containing it) — the estimator a System-R
+    /// style optimizer would run from its statistics tables.
+    ///
+    /// Empty relations get base cardinality 1 (the model's floor), so the
+    /// estimator stays total.
+    pub fn from_database(db: &crate::database::Database) -> SyntheticOracle {
+        let scheme = db.scheme().clone();
+        let base: Vec<u64> = db.states().iter().map(|r| r.tau().max(1)).collect();
+        let mut oracle = SyntheticOracle::new(scheme.clone(), base, 1);
+        // Distinct values per attribute, unioned across relations.
+        let all_attrs = scheme.attrs_of(scheme.full_set());
+        for a in all_attrs.iter() {
+            let mut values: Vec<mjoin_relation::Value> = Vec::new();
+            for (i, r) in db.states().iter().enumerate() {
+                if scheme.scheme(i).contains(a) {
+                    let col = r.column_of(a).expect("attr in scheme");
+                    values.extend(r.column_values(col));
+                }
+            }
+            values.sort();
+            values.dedup();
+            oracle.set_domain(a.index(), (values.len() as u64).max(1));
+        }
+        oracle
+    }
+
+    fn domain(&self, attr_index: usize) -> u64 {
+        *self.domains.get(&attr_index).unwrap_or(&self.default_domain)
+    }
+}
+
+impl CardinalityOracle for SyntheticOracle {
+    fn scheme(&self) -> &DbScheme {
+        &self.scheme
+    }
+
+    fn tau(&mut self, subset: RelSet) -> u64 {
+        assert!(!subset.is_empty(), "τ is defined for nonempty subsets");
+        // Work in log space to avoid overflow, then clamp. Accumulation
+        // order is fixed (ascending relation index, then ascending
+        // attribute index) so estimates are bit-for-bit reproducible —
+        // a HashMap iteration here once made τ differ by ±1 between calls
+        // for the same subset.
+        let mut log_size = 0.0f64;
+        for i in subset.iter() {
+            log_size += (self.base[i] as f64).ln();
+        }
+        // Count, per attribute (in ascending order), how many members
+        // contain it.
+        let mut counts: std::collections::BTreeMap<usize, u32> = std::collections::BTreeMap::new();
+        for i in subset.iter() {
+            for a in self.scheme.scheme(i).iter() {
+                *counts.entry(a.index()).or_insert(0) += 1;
+            }
+        }
+        for (a, c) in counts {
+            if c > 1 {
+                log_size -= (c - 1) as f64 * (self.domain(a) as f64).ln();
+            }
+        }
+        if log_size <= 0.0 {
+            1
+        } else if log_size >= (u64::MAX as f64).ln() {
+            u64::MAX
+        } else {
+            (log_size.exp().round() as u64).max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_relation::Catalog;
+
+    fn chain_db() -> Database {
+        Database::from_specs(&[
+            ("AB", vec![vec![1, 10], vec![2, 20], vec![3, 20]]),
+            ("BC", vec![vec![10, 5], vec![20, 5]]),
+            ("CD", vec![vec![5, 0], vec![5, 1]]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_oracle_matches_direct_evaluation() {
+        let db = chain_db();
+        let mut o = ExactOracle::new(&db);
+        for subset in db.scheme().full_set().subsets() {
+            if subset.is_empty() {
+                continue;
+            }
+            assert_eq!(o.tau(subset), db.evaluate_subset(subset).tau(), "{subset:?}");
+        }
+    }
+
+    #[test]
+    fn exact_oracle_memoizes() {
+        let db = chain_db();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let t1 = o.tau(full);
+        let before = o.memo_len();
+        let t2 = o.tau(full);
+        assert_eq!(t1, t2);
+        assert_eq!(o.memo_len(), before);
+        assert!(before >= 3);
+
+        let mut o2 = ExactOracle::without_memo(&db);
+        assert_eq!(o2.tau(full), t1);
+        assert_eq!(o2.memo_len(), 0);
+    }
+
+    #[test]
+    fn tau_join_equals_tau_of_union() {
+        let db = chain_db();
+        let mut o = ExactOracle::new(&db);
+        let d1 = RelSet::singleton(0);
+        let d2 = RelSet::from_indices([1, 2]);
+        assert_eq!(o.tau_join(d1, d2), o.tau(RelSet::full(3)));
+    }
+
+    #[test]
+    fn result_is_empty_detection() {
+        let db = Database::from_specs(&[
+            ("AB", vec![vec![1, 10]]),
+            ("BC", vec![vec![99, 5]]), // B values don't match
+        ])
+        .unwrap();
+        let mut o = ExactOracle::new(&db);
+        assert!(o.result_is_empty());
+
+        let db2 = chain_db();
+        let mut o2 = ExactOracle::new(&db2);
+        assert!(!o2.result_is_empty());
+    }
+
+    #[test]
+    fn synthetic_oracle_base_cases() {
+        let mut cat = Catalog::new();
+        let scheme = DbScheme::parse(&mut cat, &["AB", "BC", "DE"]).unwrap();
+        let mut o = SyntheticOracle::new(scheme, vec![100, 50, 10], 20);
+        assert_eq!(o.tau(RelSet::singleton(0)), 100);
+        // AB ⋈ BC share B (domain 20): 100·50/20 = 250.
+        assert_eq!(o.tau(RelSet::from_indices([0, 1])), 250);
+        // AB ⋈ DE disjoint: Cartesian 100·10 = 1000.
+        assert_eq!(o.tau(RelSet::from_indices([0, 2])), 1000);
+    }
+
+    #[test]
+    fn synthetic_oracle_domain_override() {
+        let mut cat = Catalog::new();
+        let scheme = DbScheme::parse(&mut cat, &["AB", "BC"]).unwrap();
+        let b_index = cat.lookup("B").unwrap().index();
+        let mut o = SyntheticOracle::new(scheme, vec![100, 100], 10);
+        assert_eq!(o.tau(RelSet::full(2)), 1000);
+        o.set_domain(b_index, 100);
+        assert_eq!(o.tau(RelSet::full(2)), 100);
+    }
+
+    #[test]
+    fn synthetic_oracle_clamps_to_one() {
+        let mut cat = Catalog::new();
+        let scheme = DbScheme::parse(&mut cat, &["AB", "AB", "AB"]).unwrap();
+        // Tiny relations over huge shared domains: estimate collapses to 1.
+        let mut o = SyntheticOracle::new(scheme, vec![2, 2, 2], 1_000_000);
+        assert_eq!(o.tau(RelSet::full(3)), 1);
+    }
+
+    #[test]
+    fn from_database_reads_catalog_statistics() {
+        let db = chain_db();
+        let mut est = SyntheticOracle::from_database(&db);
+        // Base cardinalities are exact.
+        for i in 0..db.len() {
+            assert_eq!(est.tau(RelSet::singleton(i)), db.state(i).tau());
+        }
+        // AB ⋈ BC: A has 3 distinct, B has 2 (10, 20), C has 1 (5):
+        // estimate = 3·2/2 = 3; exact = 3 (each A row matches via B).
+        let mut exact = ExactOracle::new(&db);
+        let pair = RelSet::from_indices([0, 1]);
+        assert_eq!(est.tau(pair), exact.tau(pair));
+    }
+
+    #[test]
+    fn from_database_handles_empty_relations() {
+        let mut cat = Catalog::new();
+        let scheme = DbScheme::parse(&mut cat, &["AB", "BC"]).unwrap();
+        let states = vec![
+            mjoin_relation::Relation::empty(scheme.scheme(0)),
+            mjoin_relation::Relation::from_int_rows(scheme.scheme(1), vec![vec![1, 2]]).unwrap(),
+        ];
+        let db = Database::new(cat, scheme, states);
+        let mut est = SyntheticOracle::from_database(&db);
+        assert_eq!(est.tau(RelSet::singleton(0)), 1, "floor at 1");
+    }
+
+    #[test]
+    fn synthetic_oracle_saturates() {
+        let mut cat = Catalog::new();
+        let scheme = DbScheme::parse(&mut cat, &["AB", "CD", "EF", "GH"]).unwrap();
+        let mut o = SyntheticOracle::new(scheme, vec![u64::MAX / 2; 4], 2);
+        assert_eq!(o.tau(RelSet::full(4)), u64::MAX);
+    }
+}

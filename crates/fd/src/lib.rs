@@ -1,0 +1,34 @@
+//! Dependency theory: functional dependencies, keys, the chase, and
+//! lossless joins.
+//!
+//! Section 4 of the paper derives its conditions from semantic constraints:
+//!
+//! * if a database has **no nontrivial lossy joins**, then (via Rissanen's
+//!   theorem on independent components) the intersection of two linked
+//!   connected subsets is a superkey of one of them — which yields `C2`;
+//! * if **all joins are on superkeys**, the same intersection is a superkey
+//!   of *both* sides — which yields `C3` (and hence `C1`, `C2`).
+//!
+//! Section 5 additionally discusses Osborn's superkey-intersection
+//! strategies and Honeyman's extension joins. This crate implements the
+//! machinery behind all of those statements:
+//!
+//! * [`Fd`]/[`FdSet`] with attribute-set closure, superkey and implication
+//!   tests, and candidate-key enumeration;
+//! * the tableau **chase** ([`FdSet::is_lossless`]) for lossless-join
+//!   testing [Aho–Beeri–Ullman 1979];
+//! * the database-level predicates used by `mjoin`'s condition derivations:
+//!   [`no_nontrivial_lossy_joins`], [`all_joins_on_superkeys`];
+//! * search for Osborn sequences and extension-join sequences
+//!   ([`osborn_sequence`], [`extension_join_sequence`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chase;
+mod fdset;
+mod joins;
+
+pub use chase::{all_joins_on_superkeys, member_key_extends_to_subset, no_nontrivial_lossy_joins};
+pub use fdset::{Fd, FdSet};
+pub use joins::{extension_join_sequence, osborn_sequence};

@@ -1,0 +1,115 @@
+//! Property tests for the dependency-theory layer: the closure laws and
+//! chase facts that Section 4's derivations rest on.
+
+use mjoin_fd::{Fd, FdSet};
+use mjoin_relation::{AttrSet, Attribute};
+use proptest::prelude::*;
+
+const POOL: usize = 6;
+
+fn arb_attrset() -> impl Strategy<Value = AttrSet> {
+    (0u8..64).prop_map(|mask| {
+        let mut s = AttrSet::empty();
+        for b in 0..POOL {
+            if mask & (1 << b) != 0 {
+                s.insert(Attribute::from_index(b));
+            }
+        }
+        s
+    })
+}
+
+fn arb_fdset() -> impl Strategy<Value = FdSet> {
+    proptest::collection::vec((arb_attrset(), arb_attrset()), 0..6).prop_map(|pairs| {
+        FdSet::from_fds(
+            pairs
+                .into_iter()
+                .filter(|(l, _)| !l.is_empty())
+                .map(|(l, r)| Fd::new(l, r))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Closure is extensive: `X ⊆ X⁺`.
+    #[test]
+    fn closure_extensive(fds in arb_fdset(), x in arb_attrset()) {
+        prop_assert!(x.is_subset_of(fds.closure(x)));
+    }
+
+    /// Closure is monotone: `X ⊆ Y ⇒ X⁺ ⊆ Y⁺`.
+    #[test]
+    fn closure_monotone(fds in arb_fdset(), x in arb_attrset(), y in arb_attrset()) {
+        let (small, big) = (x.intersect(y), y);
+        prop_assert!(fds.closure(small).is_subset_of(fds.closure(big)));
+    }
+
+    /// Closure is idempotent: `(X⁺)⁺ = X⁺`.
+    #[test]
+    fn closure_idempotent(fds in arb_fdset(), x in arb_attrset()) {
+        let c = fds.closure(x);
+        prop_assert_eq!(fds.closure(c), c);
+    }
+
+    /// Every declared FD is implied; implication respects Armstrong's
+    /// augmentation.
+    #[test]
+    fn implication_laws(fds in arb_fdset(), extra in arb_attrset()) {
+        for fd in fds.fds() {
+            prop_assert!(fds.implies(*fd));
+            // Augmentation: X ∪ W → Y ∪ W.
+            prop_assert!(fds.implies(Fd::new(fd.lhs.union(extra), fd.rhs.union(extra))));
+        }
+    }
+
+    /// Candidate keys are minimal superkeys: each is a superkey, and no
+    /// proper subset of one is.
+    #[test]
+    fn candidate_keys_minimal(fds in arb_fdset(), scheme in arb_attrset()) {
+        prop_assume!(!scheme.is_empty());
+        let keys = fds.candidate_keys(scheme);
+        prop_assert!(!keys.is_empty(), "the scheme itself is always a superkey");
+        for k in &keys {
+            prop_assert!(fds.is_superkey(*k, scheme));
+            for a in k.iter() {
+                let mut smaller = *k;
+                smaller.remove(a);
+                prop_assert!(!fds.is_superkey(smaller, scheme), "non-minimal key");
+            }
+        }
+    }
+
+    /// Binary decompositions: `{XY, XZ}` is lossless iff `X → Y` or
+    /// `X → Z` holds (over the decomposition's universe) — the
+    /// Rissanen/ABU characterization the paper's §4 uses.
+    #[test]
+    fn binary_lossless_iff_key(fds in arb_fdset(), x in arb_attrset(), y in arb_attrset(), z in arb_attrset()) {
+        let x = {
+            let mut v = x;
+            v.insert(Attribute::from_index(0));
+            v
+        };
+        let y = y.difference(x);
+        let z = z.difference(x).difference(y);
+        prop_assume!(!y.is_empty() && !z.is_empty());
+        let r1 = x.union(y);
+        let r2 = x.union(z);
+        let universe = r1.union(r2);
+        let lossless = fds.is_lossless(&[r1, r2]);
+        // The chase only applies dependencies embedded in the universe, so
+        // the characterization must use the same restriction.
+        let embedded = FdSet::from_fds(
+            fds.fds()
+                .iter()
+                .filter(|fd| fd.lhs.union(fd.rhs).is_subset_of(universe))
+                .copied()
+                .collect(),
+        );
+        let key_side = embedded.closure(x).intersect(universe);
+        let characterization = r1.is_subset_of(key_side) || r2.is_subset_of(key_side);
+        prop_assert_eq!(lossless, characterization);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic workload generators for the experiments.
+//!
+//! Two layers:
+//!
+//! * [`schemes`] — database-*scheme* topologies: chains, stars, cycles,
+//!   cliques, random trees and random connected graphs. Chains/stars/trees
+//!   are the acyclic shapes the paper's Section 5 cares about; cycles and
+//!   cliques exercise the cyclic cases.
+//! * [`data`] — relation-*state* generators targeting the paper's
+//!   hypotheses:
+//!   - [`data::uniform`] / [`data::skewed`]: unconstrained states (with an
+//!     optional planted witness tuple so `R_D ≠ φ`, the standing
+//!     assumption of every theorem);
+//!   - [`data::superkey`]: states in which every shared attribute is a key
+//!     of each relation containing it — the paper's Section-4 hypothesis
+//!     "all joins are on superkeys", which guarantees `C3` (and so `C1`,
+//!     `C2`); returned with the witnessing [`FdSet`](mjoin_fd::FdSet);
+//!   - [`data::universal`]: projections of one universal relation —
+//!     pairwise consistent by construction, the Section-5 hypothesis
+//!     feeding `C4`;
+//!   - [`data::fanout`]: adversarial Example-1-style states where a linked
+//!     join explodes past a Cartesian product.
+//!
+//! All generators are deterministic given the caller's RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod schemes;

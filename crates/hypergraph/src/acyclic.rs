@@ -1,0 +1,334 @@
+//! Degrees of acyclicity (Fagin 1983), used by the paper's Section 5.
+//!
+//! The paper's `C4` condition is satisfied by γ-acyclic pairwise-consistent
+//! databases, and — under join-tree connectivity — by α-acyclic ones. This
+//! module implements the full Fagin hierarchy
+//! `Berge ⊂ γ ⊂ β ⊂ α` so the experiments can generate and classify
+//! schemes at each level:
+//!
+//! * **α-acyclicity** via GYO ear reduction;
+//! * **β-acyclicity** as α-acyclicity of every sub-family (exact, `O(2ⁿ)`);
+//! * **γ-acyclicity** by direct γ-cycle search (exact, exponential — the
+//!   schemes in this workspace have ≤ ~12 edges);
+//! * **Berge-acyclicity** via union-find on the incidence bipartite graph.
+
+use mjoin_relation::AttrSet;
+
+use crate::relset::RelSet;
+use crate::scheme::DbScheme;
+
+/// The strongest acyclicity degree a scheme satisfies.
+///
+/// Ordered from weakest to strongest, so `>=` comparisons read naturally:
+/// `scheme.acyclicity() >= Acyclicity::Gamma` means "γ-acyclic or better".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Acyclicity {
+    /// Not even α-acyclic.
+    Cyclic,
+    /// α-acyclic but not β-acyclic.
+    Alpha,
+    /// β-acyclic but not γ-acyclic.
+    Beta,
+    /// γ-acyclic but not Berge-acyclic.
+    Gamma,
+    /// Berge-acyclic (the strongest degree).
+    Berge,
+}
+
+impl DbScheme {
+    /// Is the scheme α-acyclic? (GYO ear reduction succeeds.)
+    ///
+    /// An *ear* is an edge `E` whose every attribute is either exclusive to
+    /// `E` or contained in some single other edge `F`. GYO repeatedly
+    /// removes ears; the scheme is α-acyclic iff at most one edge remains.
+    pub fn is_alpha_acyclic(&self) -> bool {
+        self.alpha_acyclic_within(self.full_set())
+    }
+
+    /// α-acyclicity of the sub-family `within`.
+    pub fn alpha_acyclic_within(&self, within: RelSet) -> bool {
+        let mut alive = within;
+        loop {
+            let Some(ear) = self.find_ear(alive) else {
+                return alive.len() <= 1;
+            };
+            alive.remove(ear);
+        }
+    }
+
+    /// Finds an ear of the sub-family `alive`, if any.
+    fn find_ear(&self, alive: RelSet) -> Option<usize> {
+        if alive.len() <= 1 {
+            return None;
+        }
+        for e in alive.iter() {
+            let rest = alive.difference(RelSet::singleton(e));
+            // Attributes of e shared with some other live edge.
+            let shared = self.scheme(e).intersect(self.attrs_of(rest));
+            if shared.is_empty() {
+                // Isolated edge: trivially an ear.
+                return Some(e);
+            }
+            // e is an ear iff the shared part fits inside a single witness.
+            if rest.iter().any(|f| shared.is_subset_of(self.scheme(f))) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Is the scheme β-acyclic? (Every sub-family is α-acyclic.)
+    ///
+    /// Exact test; `O(2ⁿ)` GYO runs, fine for the small schemes used by the
+    /// condition checkers and experiments.
+    pub fn is_beta_acyclic(&self) -> bool {
+        self.full_set()
+            .subsets()
+            .all(|s| self.alpha_acyclic_within(s))
+    }
+
+    /// Is the scheme Berge-acyclic? (The incidence bipartite graph —
+    /// relation schemes on one side, attributes on the other — is a forest.)
+    pub fn is_berge_acyclic(&self) -> bool {
+        // Union-find over relation nodes (0..n) and attribute nodes
+        // (n + attr index). Every (edge, attribute) incidence is a bipartite
+        // edge; a cycle exists iff some incidence connects two already
+        // connected nodes.
+        let n = self.len();
+        let all_attrs = self.attrs_of(self.full_set());
+        let max_attr = all_attrs.iter().map(|a| a.index()).max().unwrap_or(0);
+        let mut parent: Vec<usize> = (0..n + max_attr + 1).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for i in 0..n {
+            for a in self.scheme(i).iter() {
+                let (ri, ai) = (find(&mut parent, i), find(&mut parent, n + a.index()));
+                if ri == ai {
+                    return false;
+                }
+                parent[ri] = ai;
+            }
+        }
+        true
+    }
+
+    /// Is the scheme γ-acyclic? (No γ-cycle exists — Fagin's definition,
+    /// checked by exhaustive search.)
+    ///
+    /// A γ-cycle is a sequence `(S₁, x₁, S₂, x₂, …, S_m, x_m, S₁)` with
+    /// `m ≥ 3`, distinct edges `Sᵢ`, distinct nodes `xᵢ`,
+    /// `xᵢ ∈ Sᵢ ∩ Sᵢ₊₁`, and — for `i < m` — `xᵢ` in no other edge of the
+    /// cycle.
+    pub fn is_gamma_acyclic(&self) -> bool {
+        let n = self.len();
+        if n < 3 {
+            return true;
+        }
+        // Try every starting edge; DFS extends (edges, nodes) sequences.
+        for start in 0..n {
+            if self.gamma_cycle_from(start) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does a γ-cycle exist that starts (canonically) at edge `start`?
+    fn gamma_cycle_from(&self, start: usize) -> bool {
+        let mut edges = vec![start];
+        let mut nodes: Vec<AttrSet> = Vec::new(); // each xi as a singleton set
+        self.gamma_dfs(start, &mut edges, &mut nodes)
+    }
+
+    fn gamma_dfs(&self, start: usize, edges: &mut Vec<usize>, nodes: &mut Vec<AttrSet>) -> bool {
+        let last = *edges.last().expect("edges nonempty");
+        // Try to close the cycle: need m >= 3 edges, a closing node
+        // x_m ∈ S_m ∩ S_1 distinct from previous nodes (no exclusivity
+        // requirement on x_m), and all interior constraints re-checked
+        // against the final edge set.
+        if edges.len() >= 3 {
+            let closing_candidates = self.scheme(last).intersect(self.scheme(start));
+            for x in closing_candidates.iter() {
+                let xs = AttrSet::singleton(x);
+                if nodes.iter().any(|n| n.intersects(xs)) {
+                    continue;
+                }
+                if self.gamma_interior_ok(edges, nodes) {
+                    return true;
+                }
+            }
+        }
+        // Extend the path with a fresh edge.
+        for next in 0..self.len() {
+            if edges.contains(&next) {
+                continue;
+            }
+            let shared = self.scheme(last).intersect(self.scheme(next));
+            for x in shared.iter() {
+                let xs = AttrSet::singleton(x);
+                if nodes.iter().any(|n| n.intersects(xs)) {
+                    continue;
+                }
+                edges.push(next);
+                nodes.push(xs);
+                if self.gamma_dfs(start, edges, nodes) {
+                    return true;
+                }
+                edges.pop();
+                nodes.pop();
+            }
+        }
+        false
+    }
+
+    /// Checks the interior-exclusivity constraint: for `i < m`, node `xᵢ`
+    /// (connecting `Sᵢ` to `Sᵢ₊₁`) lies in no other edge of the cycle.
+    fn gamma_interior_ok(&self, edges: &[usize], nodes: &[AttrSet]) -> bool {
+        // nodes[i] connects edges[i] and edges[i+1]; all of nodes are
+        // interior (the closing node x_m was checked separately and is
+        // unconstrained).
+        for (i, x) in nodes.iter().enumerate() {
+            for (j, &e) in edges.iter().enumerate() {
+                if j != i && j != i + 1 && x.is_subset_of(self.scheme(e)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The strongest acyclicity degree of the scheme.
+    pub fn acyclicity(&self) -> Acyclicity {
+        if self.is_berge_acyclic() {
+            Acyclicity::Berge
+        } else if self.is_gamma_acyclic() {
+            Acyclicity::Gamma
+        } else if self.is_beta_acyclic() {
+            Acyclicity::Beta
+        } else if self.is_alpha_acyclic() {
+            Acyclicity::Alpha
+        } else {
+            Acyclicity::Cyclic
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_relation::Catalog;
+
+    fn parse(specs: &[&str]) -> DbScheme {
+        let mut cat = Catalog::new();
+        DbScheme::parse(&mut cat, specs).unwrap()
+    }
+
+    #[test]
+    fn chain_is_berge_acyclic() {
+        let d = parse(&["AB", "BC", "CD"]);
+        assert_eq!(d.acyclicity(), Acyclicity::Berge);
+        assert!(d.is_alpha_acyclic());
+        assert!(d.is_beta_acyclic());
+        assert!(d.is_gamma_acyclic());
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let d = parse(&["AB", "BC", "CA"]);
+        assert_eq!(d.acyclicity(), Acyclicity::Cyclic);
+        assert!(!d.is_alpha_acyclic());
+    }
+
+    #[test]
+    fn covered_triangle_is_alpha_only() {
+        // {ABC, AB, BC, CA}: α-acyclic (ABC is a witness for every ear) but
+        // the sub-family {AB, BC, CA} is the triangle, so not β-acyclic.
+        let d = parse(&["ABC", "AB", "BC", "CA"]);
+        assert!(d.is_alpha_acyclic());
+        assert!(!d.is_beta_acyclic());
+        assert_eq!(d.acyclicity(), Acyclicity::Alpha);
+    }
+
+    #[test]
+    fn fagin_beta_not_gamma_example() {
+        // {AB, BC, ABC} is β-acyclic but γ-cyclic: the γ-cycle is
+        // (AB, a, ABC, c, BC, b, AB).
+        let d = parse(&["AB", "BC", "ABC"]);
+        assert!(d.is_beta_acyclic());
+        assert!(!d.is_gamma_acyclic());
+        assert_eq!(d.acyclicity(), Acyclicity::Beta);
+    }
+
+    #[test]
+    fn two_edges_sharing_two_attrs_is_gamma_not_berge() {
+        // {ABX, ABY}: Berge-cyclic (A and B both shared) but γ-acyclic
+        // (γ-cycles need 3 distinct edges).
+        let d = parse(&["ABX", "ABY"]);
+        assert!(!d.is_berge_acyclic());
+        assert!(d.is_gamma_acyclic());
+        assert_eq!(d.acyclicity(), Acyclicity::Gamma);
+    }
+
+    #[test]
+    fn star_is_berge_acyclic() {
+        let d = parse(&["AX", "BX", "CX"]);
+        // All share only X: incidence graph is a star — a tree.
+        assert_eq!(d.acyclicity(), Acyclicity::Berge);
+    }
+
+    #[test]
+    fn single_edge_is_acyclic_at_every_level() {
+        let d = parse(&["ABC"]);
+        assert_eq!(d.acyclicity(), Acyclicity::Berge);
+    }
+
+    #[test]
+    fn disconnected_acyclic() {
+        let d = parse(&["AB", "CD"]);
+        assert!(d.is_alpha_acyclic());
+        assert_eq!(d.acyclicity(), Acyclicity::Berge);
+    }
+
+    #[test]
+    fn disconnected_with_cyclic_component() {
+        let d = parse(&["AB", "BC", "CA", "XY"]);
+        assert!(!d.is_alpha_acyclic());
+        assert_eq!(d.acyclicity(), Acyclicity::Cyclic);
+    }
+
+    #[test]
+    fn gyo_within_subfamily() {
+        let d = parse(&["ABC", "AB", "BC", "CA"]);
+        assert!(d.alpha_acyclic_within(RelSet::from_indices([1, 2]))); // {AB, BC}
+        assert!(!d.alpha_acyclic_within(RelSet::from_indices([1, 2, 3]))); // triangle
+    }
+
+    #[test]
+    fn hierarchy_is_monotone() {
+        // Every level implies the ones below it, on a catalog of samples.
+        for specs in [
+            vec!["AB", "BC", "CD"],
+            vec!["AB", "BC", "ABC"],
+            vec!["ABX", "ABY"],
+            vec!["AB", "BC", "CA"],
+            vec!["ABC", "AB", "BC", "CA"],
+            vec!["ABCD", "AB", "CD", "AC"],
+        ] {
+            let d = parse(&specs);
+            if d.is_berge_acyclic() {
+                assert!(d.is_gamma_acyclic(), "{specs:?}");
+            }
+            if d.is_gamma_acyclic() {
+                assert!(d.is_beta_acyclic(), "{specs:?}");
+            }
+            if d.is_beta_acyclic() {
+                assert!(d.is_alpha_acyclic(), "{specs:?}");
+            }
+        }
+    }
+}

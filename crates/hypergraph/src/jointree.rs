@@ -1,0 +1,452 @@
+//! Join trees (qual trees) for α-acyclic database schemes.
+//!
+//! A *join tree* for a database scheme **D** is a tree whose nodes are the
+//! relation schemes of **D** such that, for every attribute `A`, the nodes
+//! whose schemes contain `A` induce a subtree (the *coherence* or
+//! *connectedness* property). A scheme has a join tree iff it is α-acyclic
+//! [Beeri–Fagin–Maier–Yannakakis 1983].
+//!
+//! Construction uses Maier's maximum-weight-spanning-tree theorem: any
+//! maximal spanning tree of the intersection graph (edge weight
+//! `|Rᵢ ∩ Rⱼ|`) is a join tree iff the scheme is α-acyclic. We build one by
+//! Prim's algorithm and verify coherence, which doubles as an independent
+//! α-acyclicity test cross-checked against GYO in the tests.
+
+use crate::relset::RelSet;
+use crate::scheme::DbScheme;
+
+/// A join tree over a connected, α-acyclic database scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinTree {
+    n: usize,
+    /// Tree edges as (child, parent) pairs in construction order.
+    edges: Vec<(usize, usize)>,
+    /// `neighbors[i]` = tree-adjacent relation indices.
+    neighbors: Vec<RelSet>,
+}
+
+impl JoinTree {
+    /// Builds a join tree for `scheme`, or `None` if the scheme is
+    /// disconnected or not α-acyclic.
+    pub fn build(scheme: &DbScheme) -> Option<JoinTree> {
+        let full = scheme.full_set();
+        if !scheme.connected(full) {
+            return None;
+        }
+        let n = scheme.len();
+        if n == 1 {
+            return Some(JoinTree {
+                n,
+                edges: Vec::new(),
+                neighbors: vec![RelSet::empty()],
+            });
+        }
+        // Prim: grow a maximum-weight spanning tree from relation 0.
+        let mut in_tree = RelSet::singleton(0);
+        let mut edges = Vec::with_capacity(n - 1);
+        let mut neighbors = vec![RelSet::empty(); n];
+        while in_tree.len() < n {
+            let mut best: Option<(usize, usize, usize)> = None; // (weight, child, parent)
+            for p in in_tree.iter() {
+                for c in full.difference(in_tree).iter() {
+                    let w = scheme.scheme(p).intersect(scheme.scheme(c)).len();
+                    if best.is_none_or(|(bw, _, _)| w > bw) {
+                        best = Some((w, c, p));
+                    }
+                }
+            }
+            let (w, c, p) = best.expect("connected scheme always yields an edge");
+            if w == 0 {
+                // Cannot happen for connected schemes, but guard anyway.
+                return None;
+            }
+            edges.push((c, p));
+            neighbors[c].insert(p);
+            neighbors[p].insert(c);
+            in_tree.insert(c);
+        }
+        let tree = JoinTree { n, edges, neighbors };
+        if tree.is_coherent(scheme) {
+            Some(tree)
+        } else {
+            None
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Is the tree trivial (a single node)?
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The tree edges as (child, parent) pairs, in the order Prim added
+    /// them (children appear after their parents were connected).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Tree neighbors of node `i`.
+    pub fn neighbors(&self, i: usize) -> RelSet {
+        self.neighbors[i]
+    }
+
+    /// Builds a join tree from an explicit edge list, validating that the
+    /// edges form a spanning tree and satisfy coherence. Returns `None`
+    /// otherwise.
+    pub fn from_edges(scheme: &DbScheme, edges: &[(usize, usize)]) -> Option<JoinTree> {
+        let n = scheme.len();
+        if edges.len() + 1 != n {
+            return None;
+        }
+        let mut neighbors = vec![RelSet::empty(); n];
+        for &(a, b) in edges {
+            if a >= n || b >= n || a == b || neighbors[a].contains(b) {
+                return None;
+            }
+            neighbors[a].insert(b);
+            neighbors[b].insert(a);
+        }
+        // Spanning: BFS from 0 reaches everything; orient edges by BFS.
+        let mut visited = RelSet::singleton(0);
+        let mut oriented = Vec::with_capacity(edges.len());
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(p) = queue.pop_front() {
+            for c in neighbors[p].difference(visited).iter() {
+                visited.insert(c);
+                oriented.push((c, p));
+                queue.push_back(c);
+            }
+        }
+        if visited != RelSet::full(n) {
+            return None;
+        }
+        let tree = JoinTree {
+            n,
+            edges: oriented,
+            neighbors,
+        };
+        tree.is_coherent(scheme).then_some(tree)
+    }
+
+    /// Enumerates **every** join tree of `scheme` — all coherent spanning
+    /// trees of its link graph. Exponential; intended for the small
+    /// schemes of Section-5 experiments (`n ≲ 7`).
+    pub fn all_join_trees(scheme: &DbScheme) -> Vec<JoinTree> {
+        let n = scheme.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return JoinTree::build(scheme).into_iter().collect();
+        }
+        // Candidate edges: linked pairs.
+        let candidates: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| scheme.scheme(i).intersects(scheme.scheme(j)))
+            .collect();
+        let mut out = Vec::new();
+        let mut chosen: Vec<(usize, usize)> = Vec::with_capacity(n - 1);
+        // Union-find over relations for cycle pruning.
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        fn rec(
+            scheme: &DbScheme,
+            candidates: &[(usize, usize)],
+            index: usize,
+            chosen: &mut Vec<(usize, usize)>,
+            parent: Vec<usize>,
+            out: &mut Vec<JoinTree>,
+        ) {
+            let n = scheme.len();
+            if chosen.len() == n - 1 {
+                if let Some(tree) = JoinTree::from_edges(scheme, chosen) {
+                    out.push(tree);
+                }
+                return;
+            }
+            if index >= candidates.len()
+                || candidates.len() - index < (n - 1) - chosen.len()
+            {
+                return; // not enough edges left
+            }
+            // Include candidates[index] if it doesn't close a cycle.
+            let (a, b) = candidates[index];
+            let mut p = parent.clone();
+            let (ra, rb) = (find(&mut p, a), find(&mut p, b));
+            if ra != rb {
+                p[ra] = rb;
+                chosen.push((a, b));
+                rec(scheme, candidates, index + 1, chosen, p, out);
+                chosen.pop();
+            }
+            // Exclude it.
+            rec(scheme, candidates, index + 1, chosen, parent, out);
+        }
+        rec(
+            scheme,
+            &candidates,
+            0,
+            &mut chosen,
+            (0..n).collect(),
+            &mut out,
+        );
+        out
+    }
+
+    /// Section 5's re-defined *connected* for α-acyclic schemes: is there
+    /// **some** join tree of `scheme` in which `subset` induces a subtree?
+    ///
+    /// (The fixed-tree variant is [`JoinTree::induces_subtree`]; this
+    /// quantifies over all join trees, as the paper's definition does.)
+    pub fn connected_in_some_join_tree(scheme: &DbScheme, subset: RelSet) -> bool {
+        JoinTree::all_join_trees(scheme)
+            .iter()
+            .any(|t| t.induces_subtree(subset))
+    }
+
+    /// Coherence: for every attribute, the nodes containing it induce a
+    /// subtree.
+    fn is_coherent(&self, scheme: &DbScheme) -> bool {
+        let all_attrs = scheme.attrs_of(scheme.full_set());
+        all_attrs.iter().all(|a| {
+            let holders = RelSet::from_indices(
+                (0..self.n).filter(|&i| scheme.scheme(i).contains(a)),
+            );
+            self.induces_subtree(holders)
+        })
+    }
+
+    /// Does `subset` induce a (connected) subtree of this join tree?
+    ///
+    /// This is Section 5's re-definition of *connected* for α-acyclic
+    /// schemes: `E ⊆ D` is connected iff it induces a subtree of a join
+    /// tree for `D`.
+    pub fn induces_subtree(&self, subset: RelSet) -> bool {
+        let Some(start) = subset.first() else {
+            return true;
+        };
+        let mut visited = RelSet::singleton(start);
+        let mut frontier = RelSet::singleton(start);
+        while !frontier.is_empty() {
+            let mut next = RelSet::empty();
+            for i in frontier.iter() {
+                next = next.union(self.neighbors[i].intersect(subset));
+            }
+            frontier = next.difference(visited);
+            visited = visited.union(frontier);
+        }
+        visited == subset
+    }
+
+    /// A leaves-to-root semijoin schedule rooted at `root`: pairs
+    /// (child, parent) such that processing them in order reduces every
+    /// parent after all its descendants — the upward pass of the
+    /// Bernstein–Chiu full reducer and of Yannakakis' algorithm.
+    pub fn reduction_order(&self, root: usize) -> Vec<(usize, usize)> {
+        assert!(root < self.n, "root out of range");
+        // BFS from root, then reverse the discovery edges.
+        let mut order = Vec::with_capacity(self.n.saturating_sub(1));
+        let mut visited = RelSet::singleton(root);
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(p) = queue.pop_front() {
+            for c in self.neighbors[p].difference(visited).iter() {
+                visited.insert(c);
+                order.push((c, p));
+                queue.push_back(c);
+            }
+        }
+        order.reverse();
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_relation::Catalog;
+
+    fn parse(specs: &[&str]) -> DbScheme {
+        let mut cat = Catalog::new();
+        DbScheme::parse(&mut cat, specs).unwrap()
+    }
+
+    #[test]
+    fn chain_join_tree() {
+        let d = parse(&["AB", "BC", "CD"]);
+        let t = JoinTree::build(&d).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.edges().len(), 2);
+        // The chain's only join tree is the path 0-1-2.
+        assert_eq!(t.neighbors(0), RelSet::singleton(1));
+        assert_eq!(t.neighbors(1), RelSet::from_indices([0, 2]));
+        assert_eq!(t.neighbors(2), RelSet::singleton(1));
+    }
+
+    #[test]
+    fn triangle_has_no_join_tree() {
+        let d = parse(&["AB", "BC", "CA"]);
+        assert!(JoinTree::build(&d).is_none());
+    }
+
+    #[test]
+    fn disconnected_has_no_join_tree() {
+        let d = parse(&["AB", "CD"]);
+        assert!(JoinTree::build(&d).is_none());
+    }
+
+    #[test]
+    fn single_relation_tree() {
+        let d = parse(&["ABC"]);
+        let t = JoinTree::build(&d).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.edges().is_empty());
+        assert!(t.induces_subtree(RelSet::singleton(0)));
+        assert!(t.reduction_order(0).is_empty());
+    }
+
+    #[test]
+    fn join_tree_exists_iff_alpha_acyclic() {
+        for specs in [
+            vec!["AB", "BC", "CD"],
+            vec!["AB", "BC", "CA"],
+            vec!["ABC", "AB", "BC", "CA"],
+            vec!["AX", "BX", "CX"],
+            vec!["ABC", "BCD", "CDE"],
+            vec!["AB", "BC", "ABC"],
+        ] {
+            let d = parse(&specs);
+            let connected = d.connected(d.full_set());
+            let has_tree = JoinTree::build(&d).is_some();
+            if connected {
+                assert_eq!(has_tree, d.is_alpha_acyclic(), "{specs:?}");
+            } else {
+                assert!(!has_tree, "{specs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subtrees_of_chain() {
+        let d = parse(&["AB", "BC", "CD"]);
+        let t = JoinTree::build(&d).unwrap();
+        assert!(t.induces_subtree(RelSet::from_indices([0, 1])));
+        assert!(t.induces_subtree(RelSet::from_indices([1, 2])));
+        assert!(!t.induces_subtree(RelSet::from_indices([0, 2])));
+        assert!(t.induces_subtree(RelSet::full(3)));
+        assert!(t.induces_subtree(RelSet::empty()));
+    }
+
+    #[test]
+    fn reduction_order_visits_children_before_parents() {
+        let d = parse(&["AX", "BX", "CX", "XY"]);
+        let t = JoinTree::build(&d).unwrap();
+        let order = t.reduction_order(3);
+        assert_eq!(order.len(), 3);
+        // Every pair's parent must be closer to the root; with root 3 and a
+        // star through X, each (child, parent) either ends at 3 or at an
+        // inner node processed later.
+        let mut processed = RelSet::empty();
+        for (c, _p) in &order {
+            assert!(!processed.contains(*c), "child reduced twice");
+            processed.insert(*c);
+        }
+        assert!(!processed.contains(3), "root is never a child");
+    }
+
+    #[test]
+    fn all_join_trees_of_a_chain_is_unique() {
+        let d = parse(&["AB", "BC", "CD"]);
+        let trees = JoinTree::all_join_trees(&d);
+        assert_eq!(trees.len(), 1);
+        assert!(trees[0].induces_subtree(RelSet::from_indices([0, 1])));
+    }
+
+    #[test]
+    fn all_join_trees_of_a_hub_scheme_has_many() {
+        // {ABC, A, B, C}-style: leaves AX/BY/CZ hang off hub ABC; exactly
+        // one join tree (each leaf only links to the hub). Now a scheme
+        // with a tie: {AB, AB, AB} — any spanning tree of the triangle of
+        // identical schemes is coherent: 3 join trees.
+        let d = parse(&["AB", "AB", "AB"]);
+        let trees = JoinTree::all_join_trees(&d);
+        assert_eq!(trees.len(), 3);
+    }
+
+    #[test]
+    fn all_join_trees_empty_for_cyclic() {
+        let d = parse(&["AB", "BC", "CA"]);
+        assert!(JoinTree::all_join_trees(&d).is_empty());
+    }
+
+    #[test]
+    fn from_edges_validates() {
+        let d = parse(&["AB", "BC", "CD"]);
+        assert!(JoinTree::from_edges(&d, &[(0, 1), (1, 2)]).is_some());
+        // Non-spanning, cyclic, or incoherent edge sets are rejected.
+        assert!(JoinTree::from_edges(&d, &[(0, 1)]).is_none());
+        assert!(JoinTree::from_edges(&d, &[(0, 1), (0, 1)]).is_none());
+        assert!(JoinTree::from_edges(&d, &[(0, 2), (1, 2)]).is_none()); // AB-CD edge breaks B's subtree
+    }
+
+    #[test]
+    fn section5_connectivity_quantifies_over_trees() {
+        // {AB, AB, AB}: the pair {0, 2} is NOT adjacent in the path tree
+        // 0-1-2 but IS connected in the tree 1-0-2; the quantified
+        // predicate must accept it.
+        let d = parse(&["AB", "AB", "AB"]);
+        let pair = RelSet::from_indices([0, 2]);
+        let path_tree = JoinTree::from_edges(&d, &[(0, 1), (1, 2)]).unwrap();
+        assert!(!path_tree.induces_subtree(pair));
+        assert!(JoinTree::connected_in_some_join_tree(&d, pair));
+        // On a chain, {first, last} is connected in no join tree.
+        let chain = parse(&["AB", "BC", "CD"]);
+        assert!(!JoinTree::connected_in_some_join_tree(
+            &chain,
+            RelSet::from_indices([0, 2])
+        ));
+        assert!(JoinTree::connected_in_some_join_tree(
+            &chain,
+            RelSet::from_indices([1, 2])
+        ));
+    }
+
+    #[test]
+    fn every_enumerated_tree_matches_build_quality() {
+        // On acyclic connected schemes, build() returns one of the
+        // enumerated trees (up to edge orientation).
+        for specs in [vec!["AB", "BC", "CD"], vec!["AX", "BX", "CX"], vec!["ABC", "BCD", "CDE"]] {
+            let d = parse(&specs);
+            let trees = JoinTree::all_join_trees(&d);
+            assert!(!trees.is_empty(), "{specs:?}");
+            let built = JoinTree::build(&d).unwrap();
+            let canon = |t: &JoinTree| {
+                let mut es: Vec<(usize, usize)> = t
+                    .edges()
+                    .iter()
+                    .map(|&(a, b)| (a.min(b), a.max(b)))
+                    .collect();
+                es.sort_unstable();
+                es
+            };
+            assert!(trees.iter().any(|t| canon(t) == canon(&built)), "{specs:?}");
+        }
+    }
+
+    #[test]
+    fn coherence_catches_non_acyclic_mst() {
+        // A scheme whose MST is not coherent: the triangle again, but also a
+        // 4-cycle {AB, BC, CD, DA}.
+        let d = parse(&["AB", "BC", "CD", "DA"]);
+        assert!(JoinTree::build(&d).is_none());
+        assert!(!d.is_alpha_acyclic());
+    }
+}

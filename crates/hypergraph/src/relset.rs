@@ -1,0 +1,348 @@
+//! Subsets of a database scheme as 64-bit bitsets.
+
+use std::fmt;
+
+/// Maximum number of relation schemes in a [`DbScheme`](crate::DbScheme).
+///
+/// A [`RelSet`] is a single machine word; the dynamic programs in
+/// `mjoin-optimizer` index their memo tables by it. 64 relations is far
+/// beyond exhaustive optimization reach (the strategy space for n = 64 has
+/// (2·64 − 3)!! ≈ 10⁹⁸ members); larger queries go through the heuristic
+/// planners, which also fit in 64.
+pub const MAX_RELATIONS: usize = 64;
+
+/// A subset of the relation schemes of a database scheme — the paper's
+/// `D′ ⊆ D` — as a bitset over scheme indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RelSet(pub u64);
+
+impl RelSet {
+    /// The empty subset.
+    #[inline]
+    pub const fn empty() -> Self {
+        RelSet(0)
+    }
+
+    /// The full set over the first `n` relations.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        debug_assert!(n <= MAX_RELATIONS);
+        if n == MAX_RELATIONS {
+            RelSet(u64::MAX)
+        } else {
+            RelSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The singleton `{i}`.
+    #[inline]
+    pub fn singleton(i: usize) -> Self {
+        debug_assert!(i < MAX_RELATIONS);
+        RelSet(1u64 << i)
+    }
+
+    /// Builds a set from indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = RelSet::empty();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Inserts index `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < MAX_RELATIONS);
+        self.0 |= 1u64 << i;
+    }
+
+    /// Removes index `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        self.0 &= !(1u64 << i);
+    }
+
+    /// Does the set contain `i`?
+    #[inline]
+    pub fn contains(self, i: usize) -> bool {
+        self.0 & (1u64 << i) != 0
+    }
+
+    /// Cardinality `|D′|`.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is this the empty subset?
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Is this a singleton (a trivial strategy's scheme set)?
+    #[inline]
+    pub fn is_singleton(self) -> bool {
+        self.0 != 0 && self.0 & (self.0 - 1) == 0
+    }
+
+    /// Union.
+    #[inline]
+    pub fn union(self, other: Self) -> Self {
+        RelSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    #[inline]
+    pub fn intersect(self, other: Self) -> Self {
+        RelSet(self.0 & other.0)
+    }
+
+    /// Difference `self − other`.
+    #[inline]
+    pub fn difference(self, other: Self) -> Self {
+        RelSet(self.0 & !other.0)
+    }
+
+    /// Are the two subsets disjoint (`D₁ ∩ D₂ = φ`)?
+    #[inline]
+    pub fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Is `self ⊆ other`?
+    #[inline]
+    pub fn is_subset_of(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The lowest index in the set, if any.
+    #[inline]
+    pub fn first(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterates over member indices in ascending order.
+    #[inline]
+    pub fn iter(self) -> RelSetIter {
+        RelSetIter(self.0)
+    }
+
+    /// Iterates over all subsets of `self` (including empty and `self`),
+    /// in ascending bit-pattern order.
+    ///
+    /// This is the classic sub-mask enumeration used by the DP optimizers:
+    /// enumerating all submasks of all masks costs `O(3ⁿ)` total.
+    #[inline]
+    pub fn subsets(self) -> SubsetIter {
+        SubsetIter {
+            mask: self.0,
+            current: 0,
+            done: false,
+        }
+    }
+
+    /// Iterates over the *proper, nonempty* subsets of `self` that contain
+    /// the lowest member — i.e. a canonical representative of each unordered
+    /// partition of `self` into two nonempty blocks `(S, self − S)`.
+    ///
+    /// Strategies are unordered trees (a step `[D₁] ⋈ [D₂]` equals
+    /// `[D₂] ⋈ [D₁]`), so the DPs only need each split once.
+    pub fn proper_splits(self) -> impl Iterator<Item = (RelSet, RelSet)> {
+        let lowest = self.first().map(RelSet::singleton).unwrap_or_default();
+        let full = self;
+        self.subsets().filter_map(move |s| {
+            if s.is_empty() || s == full || !lowest.is_subset_of(s) {
+                None
+            } else {
+                Some((s, full.difference(s)))
+            }
+        })
+    }
+}
+
+impl std::ops::BitOr for RelSet {
+    type Output = RelSet;
+    fn bitor(self, rhs: Self) -> Self {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitAnd for RelSet {
+    type Output = RelSet;
+    fn bitand(self, rhs: Self) -> Self {
+        self.intersect(rhs)
+    }
+}
+
+impl std::ops::Sub for RelSet {
+    type Output = RelSet;
+    fn sub(self, rhs: Self) -> Self {
+        self.difference(rhs)
+    }
+}
+
+impl fmt::Debug for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Ascending iterator over the members of a [`RelSet`].
+pub struct RelSetIter(u64);
+
+impl Iterator for RelSetIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RelSetIter {}
+
+/// Iterator over all subsets of a mask (sub-mask enumeration).
+pub struct SubsetIter {
+    mask: u64,
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = RelSet;
+
+    fn next(&mut self) -> Option<RelSet> {
+        if self.done {
+            return None;
+        }
+        let out = RelSet(self.current);
+        if self.current == self.mask {
+            self.done = true;
+        } else {
+            // Next submask in ascending order.
+            self.current = (self.current.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let mut s = RelSet::empty();
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(5);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(5));
+        assert!(!s.contains(1));
+        assert!(!s.is_singleton());
+        s.remove(0);
+        assert!(s.is_singleton());
+        assert_eq!(s.first(), Some(5));
+    }
+
+    #[test]
+    fn full_and_singleton() {
+        assert_eq!(RelSet::full(3), RelSet(0b111));
+        assert_eq!(RelSet::full(64).len(), 64);
+        assert_eq!(RelSet::singleton(2), RelSet(0b100));
+        assert!(RelSet::singleton(0).is_singleton());
+    }
+
+    #[test]
+    fn algebra() {
+        let s = RelSet::from_indices([0, 1, 2]);
+        let t = RelSet::from_indices([2, 3]);
+        assert_eq!(s | t, RelSet::from_indices([0, 1, 2, 3]));
+        assert_eq!(s & t, RelSet::singleton(2));
+        assert_eq!(s - t, RelSet::from_indices([0, 1]));
+        assert!(!s.is_disjoint(t));
+        assert!(RelSet::from_indices([0]).is_disjoint(RelSet::from_indices([1])));
+        assert!(t.is_subset_of(RelSet::full(4)));
+        assert!(!s.is_subset_of(t));
+    }
+
+    #[test]
+    fn iteration_ascending() {
+        let s = RelSet::from_indices([7, 1, 63]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 7, 63]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let s = RelSet::full(4);
+        assert_eq!(s.subsets().count(), 16);
+        let t = RelSet::from_indices([1, 3]);
+        let subs: Vec<RelSet> = t.subsets().collect();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&RelSet::empty()));
+        assert!(subs.contains(&t));
+        assert!(subs.contains(&RelSet::singleton(1)));
+        assert!(subs.contains(&RelSet::singleton(3)));
+    }
+
+    #[test]
+    fn empty_set_has_one_subset() {
+        assert_eq!(RelSet::empty().subsets().count(), 1);
+    }
+
+    #[test]
+    fn proper_splits_enumerates_each_partition_once() {
+        let s = RelSet::full(4);
+        let splits: Vec<(RelSet, RelSet)> = s.proper_splits().collect();
+        // 2^(4-1) - 1 = 7 unordered partitions into two nonempty blocks.
+        assert_eq!(splits.len(), 7);
+        for (a, b) in &splits {
+            assert!(a.is_disjoint(*b));
+            assert_eq!(a.union(*b), s);
+            assert!(!a.is_empty() && !b.is_empty());
+            // Canonical side contains relation 0.
+            assert!(a.contains(0));
+        }
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for (a, _) in splits {
+            assert!(seen.insert(a));
+        }
+    }
+
+    #[test]
+    fn proper_splits_of_singleton_is_empty() {
+        assert_eq!(RelSet::singleton(3).proper_splits().count(), 0);
+        assert_eq!(RelSet::empty().proper_splits().count(), 0);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", RelSet::from_indices([0, 2])), "{0,2}");
+    }
+}

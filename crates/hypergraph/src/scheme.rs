@@ -1,0 +1,378 @@
+//! Database schemes and the paper's connectivity predicates.
+
+use mjoin_relation::{AttrSet, Catalog, RelationError};
+
+use crate::relset::{RelSet, MAX_RELATIONS};
+
+/// A database scheme **D**: an indexed family of relation schemes.
+///
+/// The paper treats **D** as a set; we fix an (arbitrary) index order so
+/// that subsets become [`RelSet`] bitsets. Two relation schemes may be equal
+/// (the paper's Section 5 even uses a *multiset* of identical schemes for
+/// unions), so this is genuinely a family, not a set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DbScheme {
+    schemes: Vec<AttrSet>,
+    /// `adjacency[i]` = set of `j ≠ i` with `schemes[i] ∩ schemes[j] ≠ ∅`.
+    adjacency: Vec<RelSet>,
+}
+
+impl DbScheme {
+    /// Builds a database scheme from relation schemes.
+    ///
+    /// # Errors
+    /// [`RelationError::EmptyScheme`] if the family is empty or any member
+    /// is the empty attribute set (the paper requires nonempty relation
+    /// schemes). At most [`MAX_RELATIONS`] members are supported.
+    pub fn new(schemes: Vec<AttrSet>) -> Result<Self, RelationError> {
+        if schemes.is_empty() || schemes.iter().any(|s| s.is_empty()) {
+            return Err(RelationError::EmptyScheme);
+        }
+        assert!(
+            schemes.len() <= MAX_RELATIONS,
+            "database schemes are limited to {MAX_RELATIONS} relations"
+        );
+        let adjacency = (0..schemes.len())
+            .map(|i| {
+                RelSet::from_indices(
+                    (0..schemes.len())
+                        .filter(|&j| j != i && schemes[i].intersects(schemes[j])),
+                )
+            })
+            .collect();
+        Ok(DbScheme { schemes, adjacency })
+    }
+
+    /// Parses scheme specifications (see [`Catalog::scheme`]) into a
+    /// database scheme, e.g. `DbScheme::parse(&mut cat, &["ABC", "BE", "DF"])`.
+    pub fn parse(catalog: &mut Catalog, specs: &[&str]) -> Result<Self, RelationError> {
+        let schemes = specs
+            .iter()
+            .map(|s| catalog.scheme(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(schemes)
+    }
+
+    /// Number of relation schemes, `|D|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Is the family empty? (Never true for a constructed scheme.)
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+
+    /// The `i`-th relation scheme.
+    #[inline]
+    pub fn scheme(&self, i: usize) -> AttrSet {
+        self.schemes[i]
+    }
+
+    /// All relation schemes, in index order.
+    #[inline]
+    pub fn schemes(&self) -> &[AttrSet] {
+        &self.schemes
+    }
+
+    /// The subset containing every relation scheme.
+    #[inline]
+    pub fn full_set(&self) -> RelSet {
+        RelSet::full(self.len())
+    }
+
+    /// `⋃D′`: the union of the attribute sets of the members of `subset`.
+    pub fn attrs_of(&self, subset: RelSet) -> AttrSet {
+        subset
+            .iter()
+            .fold(AttrSet::empty(), |acc, i| acc.union(self.schemes[i]))
+    }
+
+    /// The paper's *linked* predicate: `D₁` is linked to `D₂` iff
+    /// `(⋃D₁) ∩ (⋃D₂) ≠ φ`.
+    ///
+    /// Note the paper applies this to arbitrary (possibly overlapping)
+    /// subsets; no disjointness is assumed here.
+    pub fn linked(&self, d1: RelSet, d2: RelSet) -> bool {
+        self.attrs_of(d1).intersects(self.attrs_of(d2))
+    }
+
+    /// Is `subset` connected (not the union of two non-linked nonempty
+    /// parts)? The empty subset and singletons are connected.
+    pub fn connected(&self, subset: RelSet) -> bool {
+        match subset.first() {
+            None => true,
+            Some(start) => self.reachable_from(start, subset) == subset,
+        }
+    }
+
+    /// The members of `subset` reachable from `start` through pairwise
+    /// scheme intersections staying inside `subset`.
+    fn reachable_from(&self, start: usize, subset: RelSet) -> RelSet {
+        debug_assert!(subset.contains(start));
+        let mut visited = RelSet::singleton(start);
+        let mut frontier = RelSet::singleton(start);
+        while !frontier.is_empty() {
+            let mut next = RelSet::empty();
+            for i in frontier.iter() {
+                next = next.union(self.adjacency[i].intersect(subset));
+            }
+            frontier = next.difference(visited);
+            visited = visited.union(frontier);
+        }
+        visited
+    }
+
+    /// The components of `subset`: maximal connected subsets not linked to
+    /// the rest. Returned in ascending order of their lowest member.
+    ///
+    /// Note that components are defined through *pairwise scheme
+    /// intersections inside the subset*, exactly as the paper's example
+    /// shows: `{ABC, BE, DF, CG, GH}` is unconnected even though its parts
+    /// `{ABC, BE, DF}` and `{CG, GH}` are linked — because linkage of the
+    /// union flows through shared attributes of individual schemes.
+    pub fn components(&self, subset: RelSet) -> Vec<RelSet> {
+        let mut remaining = subset;
+        let mut out = Vec::new();
+        while let Some(start) = remaining.first() {
+            let comp = self.reachable_from(start, remaining);
+            out.push(comp);
+            remaining = remaining.difference(comp);
+        }
+        out
+    }
+
+    /// `comp(D′)`: the number of components of `subset`.
+    pub fn comp(&self, subset: RelSet) -> usize {
+        self.components(subset).len()
+    }
+
+    /// All nonempty connected subsets of `within`, sorted by bit pattern.
+    ///
+    /// Enumeration is *output-sensitive* (the `EnumerateCsg` expansion of
+    /// Moerkotte & Neumann): each connected subset is produced exactly
+    /// once by growing from its lowest member through scheme adjacency, so
+    /// sparse topologies stay cheap — a 40-relation chain has 820
+    /// connected subsets, not 2⁴⁰ candidates.
+    pub fn connected_subsets(&self, within: RelSet) -> Vec<RelSet> {
+        let mut out = Vec::new();
+        let members: Vec<usize> = within.iter().collect();
+        for &start in members.iter().rev() {
+            // Forbid all members lower than `start`: subsets rooted at
+            // their own minimum are enumerated exactly once.
+            let forbidden = RelSet::from_indices(members.iter().copied().filter(|&j| j < start));
+            let seed = RelSet::singleton(start);
+            out.push(seed);
+            self.enumerate_csg_rec(seed, forbidden.union(seed), within, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn enumerate_csg_rec(
+        &self,
+        subset: RelSet,
+        excluded: RelSet,
+        within: RelSet,
+        out: &mut Vec<RelSet>,
+    ) {
+        // Neighborhood of `subset` inside `within`, minus exclusions.
+        let mut neighborhood = RelSet::empty();
+        for i in subset.iter() {
+            neighborhood = neighborhood.union(self.adjacency[i]);
+        }
+        neighborhood = neighborhood.intersect(within).difference(excluded);
+        if neighborhood.is_empty() {
+            return;
+        }
+        for ext in neighborhood.subsets() {
+            if ext.is_empty() {
+                continue;
+            }
+            out.push(subset.union(ext));
+        }
+        for ext in neighborhood.subsets() {
+            if ext.is_empty() {
+                continue;
+            }
+            self.enumerate_csg_rec(
+                subset.union(ext),
+                excluded.union(neighborhood),
+                within,
+                out,
+            );
+        }
+    }
+
+    /// Renders `subset` as `{ABC, BE}` using the catalog's names.
+    pub fn render(&self, catalog: &Catalog, subset: RelSet) -> String {
+        let parts: Vec<String> = subset
+            .iter()
+            .map(|i| catalog.render(self.schemes[i]))
+            .collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(specs: &[&str]) -> (Catalog, DbScheme) {
+        let mut cat = Catalog::new();
+        let d = DbScheme::parse(&mut cat, specs).unwrap();
+        (cat, d)
+    }
+
+    #[test]
+    fn construction_checks() {
+        assert!(DbScheme::new(vec![]).is_err());
+        assert!(DbScheme::new(vec![AttrSet::empty()]).is_err());
+    }
+
+    #[test]
+    fn paper_linked_examples() {
+        // {ABC, BE, DF} is linked to {CG, GH} but {AB, BE, DF} is not.
+        let (mut cat, _) = parse(&["ABC"]);
+        let d = DbScheme::parse(&mut cat, &["ABC", "BE", "DF", "CG", "GH", "AB"]).unwrap();
+        let left = RelSet::from_indices([0, 1, 2]); // {ABC, BE, DF}
+        let right = RelSet::from_indices([3, 4]); // {CG, GH}
+        assert!(d.linked(left, right));
+        let left2 = RelSet::from_indices([5, 1, 2]); // {AB, BE, DF}
+        assert!(!d.linked(left2, right));
+    }
+
+    #[test]
+    fn paper_connected_examples() {
+        // {ABC, BE, DF} is unconnected; {ABC, BE, AF, DF} is connected.
+        let (_, d1) = parse(&["ABC", "BE", "DF"]);
+        assert!(!d1.connected(d1.full_set()));
+        let (_, d2) = parse(&["ABC", "BE", "AF", "DF"]);
+        assert!(d2.connected(d2.full_set()));
+    }
+
+    #[test]
+    fn paper_components_example() {
+        // Components of {ABC, BE, DF} are {ABC, BE} and {DF}.
+        let (_, d) = parse(&["ABC", "BE", "DF"]);
+        let comps = d.components(d.full_set());
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], RelSet::from_indices([0, 1]));
+        assert_eq!(comps[1], RelSet::singleton(2));
+        assert_eq!(d.comp(d.full_set()), 2);
+    }
+
+    #[test]
+    fn paper_union_remains_unconnected() {
+        // {ABC, BE, DF} ∪ {CG, GH} is unconnected although the two families
+        // are linked: DF is isolated.
+        let (_, d) = parse(&["ABC", "BE", "DF", "CG", "GH"]);
+        assert!(!d.connected(d.full_set()));
+        let comps = d.components(d.full_set());
+        assert_eq!(comps.len(), 2);
+        // {ABC, BE, CG, GH} forms one component via C.
+        assert_eq!(comps[0], RelSet::from_indices([0, 1, 3, 4]));
+        assert_eq!(comps[1], RelSet::singleton(2));
+    }
+
+    #[test]
+    fn empty_and_singletons_connected() {
+        let (_, d) = parse(&["AB", "CD"]);
+        assert!(d.connected(RelSet::empty()));
+        assert!(d.connected(RelSet::singleton(0)));
+        assert!(d.connected(RelSet::singleton(1)));
+        assert!(!d.connected(d.full_set()));
+    }
+
+    #[test]
+    fn duplicate_schemes_are_linked() {
+        let (_, d) = parse(&["AB", "AB"]);
+        assert!(d.connected(d.full_set()));
+        assert!(d.linked(RelSet::singleton(0), RelSet::singleton(1)));
+    }
+
+    #[test]
+    fn attrs_of_union() {
+        let (mut cat, _) = parse(&["AB"]);
+        let d = DbScheme::parse(&mut cat, &["AB", "BC"]).unwrap();
+        let all = d.attrs_of(d.full_set());
+        assert_eq!(all.len(), 3);
+        assert_eq!(d.attrs_of(RelSet::empty()), AttrSet::empty());
+    }
+
+    #[test]
+    fn connected_subsets_of_chain() {
+        // Chain A-B-C-D: connected subsets of {AB, BC, CD} are all
+        // contiguous index ranges: {0},{1},{2},{01},{12},{012} = 6.
+        let (_, d) = parse(&["AB", "BC", "CD"]);
+        let subs = d.connected_subsets(d.full_set());
+        assert_eq!(subs.len(), 6);
+        assert!(!subs.contains(&RelSet::from_indices([0, 2])));
+    }
+
+    #[test]
+    fn connected_subsets_of_star() {
+        // Star: center ABC touches AX, BY, CZ. Connected subsets: any
+        // subset containing the center (8) plus the 3 leaf singletons = 11.
+        let (_, d) = parse(&["ABC", "AX", "BY", "CZ"]);
+        let subs = d.connected_subsets(d.full_set());
+        assert_eq!(subs.len(), 11);
+    }
+
+    #[test]
+    fn connected_subsets_matches_brute_force() {
+        // Output-sensitive enumeration agrees with the 2ⁿ filter on a mix
+        // of topologies and restricted sub-families.
+        for specs in [
+            vec!["AB", "BC", "CD", "DE"],
+            vec!["AB", "BC", "CA", "CD"],
+            vec!["AB", "CD", "EF"],
+            vec!["ABC", "AX", "BY", "CZ", "XY"],
+            vec!["AB", "AB", "BC"],
+        ] {
+            let (_, d) = parse(&specs);
+            for within in [d.full_set(), RelSet::from_indices([0, 2, 3])] {
+                let within = within.intersect(d.full_set());
+                let mut fast = d.connected_subsets(within);
+                let mut brute: Vec<RelSet> = within
+                    .subsets()
+                    .filter(|s| !s.is_empty() && d.connected(*s))
+                    .collect();
+                fast.sort_unstable();
+                brute.sort_unstable();
+                assert_eq!(fast, brute, "{specs:?} within {within:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn connected_subsets_enumeration_has_no_duplicates() {
+        let (_, d) = parse(&["ABC", "AX", "BY", "CZ", "XY"]);
+        let subs = d.connected_subsets(d.full_set());
+        let mut dedup = subs.clone();
+        dedup.dedup();
+        assert_eq!(subs.len(), dedup.len());
+    }
+
+    #[test]
+    fn connected_subsets_chain_is_quadratic() {
+        // A 40-relation chain has exactly 40·41/2 = 820 connected subsets;
+        // the enumeration must produce them without touching 2⁴⁰ masks.
+        let specs: Vec<String> = (0..40)
+            .map(|i| format!("x{i},x{}", i + 1))
+            .collect();
+        let refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+        let mut cat = Catalog::new();
+        let d = DbScheme::parse(&mut cat, &refs).unwrap();
+        assert_eq!(d.connected_subsets(d.full_set()).len(), 820);
+    }
+
+    #[test]
+    fn render() {
+        let (cat, d) = parse(&["ABC", "BE"]);
+        assert_eq!(d.render(&cat, d.full_set()), "{ABC, BE}");
+        assert_eq!(d.render(&cat, RelSet::singleton(1)), "{BE}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the scheme-hypergraph invariants every higher layer
+//! assumes.
+
+use mjoin_hypergraph::{DbScheme, JoinTree, RelSet};
+use mjoin_relation::{AttrSet, Attribute, Catalog};
+use proptest::prelude::*;
+
+/// A random database scheme: `n` relations, each a random nonempty subset
+/// of a small attribute pool (collisions guarantee interesting linkage).
+fn arb_scheme() -> impl Strategy<Value = DbScheme> {
+    (2usize..7, proptest::collection::vec(1u8..255, 2..7)).prop_map(|(pool, masks)| {
+        let schemes: Vec<AttrSet> = masks
+            .iter()
+            .map(|&m| {
+                let mut s = AttrSet::empty();
+                for b in 0..8 {
+                    if m & (1 << b) != 0 {
+                        s.insert(Attribute::from_index(b % pool.max(1)));
+                    }
+                }
+                if s.is_empty() {
+                    s.insert(Attribute::from_index(0));
+                }
+                s
+            })
+            .collect();
+        DbScheme::new(schemes).expect("nonempty schemes")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Components partition the subset, each is connected, and no two are
+    /// linked.
+    #[test]
+    fn components_partition(scheme in arb_scheme(), mask: u64) {
+        let subset = RelSet(mask).intersect(scheme.full_set());
+        let comps = scheme.components(subset);
+        let mut union = RelSet::empty();
+        for (i, &c) in comps.iter().enumerate() {
+            prop_assert!(!c.is_empty());
+            prop_assert!(scheme.connected(c));
+            prop_assert!(union.is_disjoint(c));
+            union = union.union(c);
+            for &d in &comps[i + 1..] {
+                prop_assert!(!scheme.linked(c, d), "components must not be linked");
+            }
+        }
+        prop_assert_eq!(union, subset);
+        prop_assert_eq!(comps.len(), scheme.comp(subset));
+    }
+
+    /// `connected` agrees with `components`: connected iff ≤ 1 component.
+    #[test]
+    fn connected_iff_one_component(scheme in arb_scheme(), mask: u64) {
+        let subset = RelSet(mask).intersect(scheme.full_set());
+        prop_assert_eq!(
+            scheme.connected(subset),
+            scheme.components(subset).len() <= 1
+        );
+    }
+
+    /// The output-sensitive connected-subset enumeration matches the 2ⁿ
+    /// filter on arbitrary schemes and restrictions.
+    #[test]
+    fn connected_subsets_match_filter(scheme in arb_scheme(), mask: u64) {
+        let within = RelSet(mask).intersect(scheme.full_set());
+        let mut fast = scheme.connected_subsets(within);
+        let mut brute: Vec<RelSet> = within
+            .subsets()
+            .filter(|s| !s.is_empty() && scheme.connected(*s))
+            .collect();
+        fast.sort_unstable();
+        brute.sort_unstable();
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// `linked` is symmetric and monotone under union.
+    #[test]
+    fn linked_laws(scheme in arb_scheme(), a: u64, b: u64, c: u64) {
+        let full = scheme.full_set();
+        let (a, b, c) = (
+            RelSet(a).intersect(full),
+            RelSet(b).intersect(full),
+            RelSet(c).intersect(full),
+        );
+        prop_assert_eq!(scheme.linked(a, b), scheme.linked(b, a));
+        if scheme.linked(a, b) && !a.is_empty() {
+            prop_assert!(scheme.linked(a, b.union(c)));
+        }
+    }
+
+    /// Acyclicity hierarchy is monotone: Berge ⊆ γ ⊆ β ⊆ α.
+    #[test]
+    fn acyclicity_hierarchy(scheme in arb_scheme()) {
+        if scheme.is_berge_acyclic() {
+            prop_assert!(scheme.is_gamma_acyclic());
+        }
+        if scheme.is_gamma_acyclic() {
+            prop_assert!(scheme.is_beta_acyclic());
+        }
+        if scheme.is_beta_acyclic() {
+            prop_assert!(scheme.is_alpha_acyclic());
+        }
+    }
+
+    /// A join tree exists iff the scheme is connected and α-acyclic; when
+    /// it does, every attribute's holders induce a subtree.
+    #[test]
+    fn join_tree_existence_and_coherence(scheme in arb_scheme()) {
+        let connected = scheme.connected(scheme.full_set());
+        match JoinTree::build(&scheme) {
+            Some(tree) => {
+                prop_assert!(connected && scheme.is_alpha_acyclic());
+                prop_assert_eq!(tree.edges().len() + 1, scheme.len());
+                let all = scheme.attrs_of(scheme.full_set());
+                for a in all.iter() {
+                    let holders = RelSet::from_indices(
+                        (0..scheme.len()).filter(|&i| scheme.scheme(i).contains(a)),
+                    );
+                    prop_assert!(tree.induces_subtree(holders));
+                }
+            }
+            None => prop_assert!(!connected || !scheme.is_alpha_acyclic()),
+        }
+    }
+
+    /// `attrs_of` distributes over union.
+    #[test]
+    fn attrs_of_union(scheme in arb_scheme(), a: u64, b: u64) {
+        let full = scheme.full_set();
+        let (a, b) = (RelSet(a).intersect(full), RelSet(b).intersect(full));
+        prop_assert_eq!(
+            scheme.attrs_of(a.union(b)),
+            scheme.attrs_of(a).union(scheme.attrs_of(b))
+        );
+    }
+}
+
+#[test]
+fn catalog_round_trip_render() {
+    // Sanity outside proptest: render is stable for a known scheme.
+    let mut cat = Catalog::new();
+    let d = DbScheme::parse(&mut cat, &["ABC", "BE", "DF"]).unwrap();
+    assert_eq!(d.render(&cat, d.full_set()), "{ABC, BE, DF}");
+}

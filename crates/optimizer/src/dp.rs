@@ -1,0 +1,531 @@
+//! Dynamic programs over scheme subsets.
+//!
+//! The paper's cost measure decomposes over subtrees — `τ(S)` is the sum of
+//! `τ(R_{D′})` over the internal nodes, and `R_{D′}` depends only on the
+//! subset `D′` — so Bellman's principle applies directly: the cheapest
+//! strategy for `D` is `τ(R_D)` plus the cheapest pair of sub-strategies
+//! over some partition `D = D₁ ⊎ D₂`. Each search space below is one DP.
+
+use std::collections::HashMap;
+
+use mjoin_cost::CardinalityOracle;
+use mjoin_hypergraph::RelSet;
+use mjoin_strategy::Strategy;
+
+use crate::plan::Plan;
+
+/// DP memo entry: best cost plus the winning split (None for leaves).
+pub(crate) type SplitMemo = HashMap<RelSet, (u64, Option<(RelSet, RelSet)>)>;
+
+/// Enumeration style for the product-free DP — an ablation trio; all
+/// produce plans of identical cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DpAlgorithm {
+    /// Top-down recursion over sub-masks with memoization (`DPsub`).
+    /// Work `O(3ⁿ)` regardless of join-graph sparsity.
+    #[default]
+    DpSub,
+    /// Bottom-up by subset size, merging pairs of smaller plans
+    /// (`DPsize`). Scans all pairs of connected subsets — quadratic in
+    /// their count.
+    DpSize,
+    /// Connected-subgraph / connected-complement pairs in the style of
+    /// Moerkotte & Neumann's `DPccp`: for each connected subset, only its
+    /// linked connected complements are enumerated, so work tracks the
+    /// number of *valid* joins rather than all subset pairs.
+    DpCcp,
+}
+
+/// Cheapest strategy over the full space (bushy, products allowed).
+pub fn best_bushy<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Plan {
+    let mut memo: SplitMemo = HashMap::new();
+    let cost = bushy_rec(oracle, subset, &mut memo);
+    Plan {
+        strategy: rebuild(subset, &memo),
+        cost,
+    }
+}
+
+fn bushy_rec<O: CardinalityOracle>(
+    oracle: &mut O,
+    s: RelSet,
+    memo: &mut SplitMemo,
+) -> u64 {
+    if s.is_singleton() {
+        return 0;
+    }
+    if let Some(&(c, _)) = memo.get(&s) {
+        return c;
+    }
+    let own = oracle.tau(s);
+    let mut best = u64::MAX;
+    let mut best_split = None;
+    for (s1, s2) in s.proper_splits() {
+        let c = bushy_rec(oracle, s1, memo).saturating_add(bushy_rec(oracle, s2, memo));
+        if c < best {
+            best = c;
+            best_split = Some((s1, s2));
+        }
+    }
+    let total = own.saturating_add(best);
+    memo.insert(s, (total, best_split));
+    total
+}
+
+/// Cheapest *linear* strategy; with `no_cartesian`, every step must join
+/// linked subsets (callers guarantee `subset` is connected in that case).
+pub fn best_linear<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    no_cartesian: bool,
+) -> Plan {
+    // memo: prefix set → (cost, last relation added), cost = u64::MAX if
+    // the prefix is unreachable under the no-product constraint.
+    let mut memo: HashMap<RelSet, (u64, Option<usize>)> = HashMap::new();
+    let cost = linear_rec(oracle, subset, no_cartesian, &mut memo);
+    assert_ne!(
+        cost,
+        u64::MAX,
+        "a connected subset always admits a product-free linear order"
+    );
+    // Reconstruct the order back-to-front.
+    let mut order = Vec::with_capacity(subset.len());
+    let mut s = subset;
+    while !s.is_singleton() {
+        let (_, last) = memo[&s];
+        let last = last.expect("non-singleton prefixes record their last step");
+        order.push(last);
+        s.remove(last);
+    }
+    order.push(s.first().expect("singleton remains"));
+    order.reverse();
+    Plan {
+        strategy: Strategy::left_deep(&order),
+        cost,
+    }
+}
+
+fn linear_rec<O: CardinalityOracle>(
+    oracle: &mut O,
+    s: RelSet,
+    no_cartesian: bool,
+    memo: &mut HashMap<RelSet, (u64, Option<usize>)>,
+) -> u64 {
+    if s.is_singleton() {
+        return 0;
+    }
+    if let Some(&(c, _)) = memo.get(&s) {
+        return c;
+    }
+    let own = oracle.tau(s);
+    let mut best = u64::MAX;
+    let mut best_last = None;
+    for last in s.iter() {
+        let rest = s.difference(RelSet::singleton(last));
+        // Product-free linear strategies have *connected* prefixes (each
+        // step joins linked sets, and unions of linked connected sets are
+        // connected), so prune disconnected prefixes — this turns chain
+        // queries from exponential into O(n²) subproblems.
+        if no_cartesian
+            && (!oracle.scheme().linked(rest, RelSet::singleton(last))
+                || !oracle.scheme().connected(rest))
+        {
+            continue;
+        }
+        let c = linear_rec(oracle, rest, no_cartesian, memo);
+        if c < best {
+            best = c;
+            best_last = Some(last);
+        }
+    }
+    let total = if best == u64::MAX {
+        u64::MAX
+    } else {
+        own.saturating_add(best)
+    };
+    memo.insert(s, (total, best_last));
+    total
+}
+
+/// Cheapest product-free strategy; `None` iff `subset` is unconnected.
+pub fn best_no_cartesian<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    algorithm: DpAlgorithm,
+) -> Option<Plan> {
+    if !oracle.scheme().connected(subset) {
+        return None;
+    }
+    match algorithm {
+        DpAlgorithm::DpSub => {
+            let mut memo = HashMap::new();
+            let cost = nocp_rec(oracle, subset, &mut memo)?;
+            Some(Plan {
+                strategy: rebuild(subset, &memo),
+                cost,
+            })
+        }
+        DpAlgorithm::DpSize => nocp_dpsize(oracle, subset),
+        DpAlgorithm::DpCcp => nocp_dpccp(oracle, subset),
+    }
+}
+
+fn nocp_dpccp<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<Plan> {
+    // Connected subsets in ascending bit-pattern order; processing by
+    // increasing size guarantees sub-plans exist before they're combined.
+    let mut connected = oracle.scheme().connected_subsets(subset);
+    connected.sort_by_key(|s| s.len());
+    let mut table: SplitMemo = HashMap::new();
+    for &s in &connected {
+        if s.is_singleton() {
+            table.insert(s, (0, None));
+            continue;
+        }
+        // csg–cmp pairs for s: every partition of s into connected linked
+        // halves, each enumerated once (the half containing min(s) is the
+        // canonical csg). Enumerate connected subsets of s containing
+        // min(s) by restricting the enumeration to s itself.
+        let lowest = RelSet::singleton(s.first().expect("nonempty"));
+        let mut best = u64::MAX;
+        let mut best_split = None;
+        for s1 in oracle.scheme().connected_subsets(s) {
+            if s1 == s || !lowest.is_subset_of(s1) {
+                continue;
+            }
+            let s2 = s.difference(s1);
+            if !oracle.scheme().connected(s2) || !oracle.scheme().linked(s1, s2) {
+                continue;
+            }
+            let (Some(&(c1, _)), Some(&(c2, _))) = (table.get(&s1), table.get(&s2)) else {
+                continue;
+            };
+            let cost = c1.saturating_add(c2);
+            if cost < best {
+                best = cost;
+                best_split = Some((s1, s2));
+            }
+        }
+        if let Some(split) = best_split {
+            let total = oracle.tau(s).saturating_add(best);
+            table.insert(s, (total, Some(split)));
+        }
+    }
+    let &(cost, _) = table.get(&subset)?;
+    Some(Plan {
+        strategy: rebuild(subset, &table),
+        cost,
+    })
+}
+
+fn nocp_rec<O: CardinalityOracle>(
+    oracle: &mut O,
+    s: RelSet,
+    memo: &mut SplitMemo,
+) -> Option<u64> {
+    if s.is_singleton() {
+        return Some(0);
+    }
+    if let Some(&(c, _)) = memo.get(&s) {
+        return if c == u64::MAX { None } else { Some(c) };
+    }
+    let mut best = u64::MAX;
+    let mut best_split = None;
+    // Product-free strategies only ever produce connected node sets, so
+    // both halves must be connected and linked to each other.
+    for (s1, s2) in s.proper_splits() {
+        if !oracle.scheme().connected(s1)
+            || !oracle.scheme().connected(s2)
+            || !oracle.scheme().linked(s1, s2)
+        {
+            continue;
+        }
+        let (Some(c1), Some(c2)) = (nocp_rec(oracle, s1, memo), nocp_rec(oracle, s2, memo))
+        else {
+            continue;
+        };
+        let c = c1.saturating_add(c2);
+        if c < best {
+            best = c;
+            best_split = Some((s1, s2));
+        }
+    }
+    if best == u64::MAX {
+        memo.insert(s, (u64::MAX, None));
+        None
+    } else {
+        let total = oracle.tau(s).saturating_add(best);
+        memo.insert(s, (total, best_split));
+        Some(total)
+    }
+}
+
+fn nocp_dpsize<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<Plan> {
+    // Group the connected subsets of `subset` by size.
+    let connected = oracle.scheme().connected_subsets(subset);
+    let n = subset.len();
+    let mut by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
+    for s in connected {
+        by_size[s.len()].push(s);
+    }
+    let mut table: SplitMemo = HashMap::new();
+    for &s in &by_size[1] {
+        table.insert(s, (0, None));
+    }
+    for size in 2..=n {
+        for a in 1..=size / 2 {
+            let b = size - a;
+            for i in 0..by_size[a].len() {
+                let s1 = by_size[a][i];
+                for &s2 in &by_size[b] {
+                    if a == b && s2.0 <= s1.0 {
+                        continue; // each unordered pair once
+                    }
+                    if !s1.is_disjoint(s2) || !oracle.scheme().linked(s1, s2) {
+                        continue;
+                    }
+                    let (Some(&(c1, _)), Some(&(c2, _))) = (table.get(&s1), table.get(&s2))
+                    else {
+                        continue;
+                    };
+                    let u = s1.union(s2);
+                    let cost = oracle.tau(u).saturating_add(c1).saturating_add(c2);
+                    // Insert even when the (saturating) cost ties u64::MAX:
+                    // every reachable subset must record some split or
+                    // plan reconstruction has nothing to follow.
+                    match table.entry(u) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert((cost, Some((s1, s2))));
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            if cost < e.get().0 {
+                                e.insert((cost, Some((s1, s2))));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let &(cost, _) = table.get(&subset)?;
+    Some(Plan {
+        strategy: rebuild(subset, &table),
+        cost,
+    })
+}
+
+/// Cheapest strategy *avoiding* Cartesian products: each component solved
+/// product-free, then the components multiplied in the cheapest order.
+/// `None` iff some component admits no product-free strategy (cannot
+/// happen — components are connected — but kept as a safe signature).
+pub fn best_avoid_cartesian<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    algorithm: DpAlgorithm,
+) -> Option<Plan> {
+    let comps = oracle.scheme().components(subset);
+    if comps.len() == 1 {
+        return best_no_cartesian(oracle, subset, algorithm);
+    }
+    let plans: Vec<Plan> = comps
+        .iter()
+        .map(|&c| best_no_cartesian(oracle, c, algorithm))
+        .collect::<Option<Vec<_>>>()?;
+    let sizes: Vec<u64> = comps.iter().map(|&c| oracle.tau(c)).collect();
+
+    // DP over subsets of components; a step multiplying component-set C
+    // produces Π sizes (the components share no attributes).
+    let k = comps.len();
+    let mut memo: SplitMemo = HashMap::new();
+    fn combo(
+        cs: RelSet,
+        sizes: &[u64],
+        base: &[u64],
+        memo: &mut SplitMemo,
+    ) -> u64 {
+        if cs.is_singleton() {
+            return base[cs.first().expect("singleton")];
+        }
+        if let Some(&(c, _)) = memo.get(&cs) {
+            return c;
+        }
+        let own: u64 = cs
+            .iter()
+            .fold(1u64, |acc, i| acc.saturating_mul(sizes[i]));
+        let mut best = u64::MAX;
+        let mut best_split = None;
+        for (a, b) in cs.proper_splits() {
+            let c = combo(a, sizes, base, memo).saturating_add(combo(b, sizes, base, memo));
+            if c < best {
+                best = c;
+                best_split = Some((a, b));
+            }
+        }
+        let total = own.saturating_add(best);
+        memo.insert(cs, (total, best_split));
+        total
+    }
+    let base: Vec<u64> = plans.iter().map(|p| p.cost).collect();
+    let full = RelSet::full(k);
+    let cost = combo(full, &sizes, &base, &mut memo);
+
+    // Assemble the relation-level strategy from the component-level tree.
+    fn assemble(cs: RelSet, plans: &[Plan], memo: &SplitMemo) -> Strategy {
+        if cs.is_singleton() {
+            return plans[cs.first().expect("singleton")].strategy.clone();
+        }
+        let (_, split) = memo[&cs];
+        let (a, b) = split.expect("non-singleton entries record splits");
+        Strategy::join(assemble(a, plans, memo), assemble(b, plans, memo))
+            .expect("components are disjoint")
+    }
+    Some(Plan {
+        strategy: assemble(full, &plans, &memo),
+        cost,
+    })
+}
+
+/// Rebuilds a strategy from a split table.
+pub(crate) fn rebuild(s: RelSet, memo: &SplitMemo) -> Strategy {
+    if s.is_singleton() {
+        return Strategy::leaf(s.first().expect("singleton"));
+    }
+    let (_, split) = memo[&s];
+    let (s1, s2) = split.expect("solved non-singletons record their split");
+    Strategy::join(rebuild(s1, memo), rebuild(s2, memo)).expect("splits are disjoint")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_cost::{Database, ExactOracle};
+
+    fn chain4() -> Database {
+        Database::from_specs(&[
+            ("AB", vec![vec![1, 10], vec![2, 20], vec![3, 20]]),
+            ("BC", vec![vec![10, 5], vec![20, 5], vec![20, 6]]),
+            ("CD", vec![vec![5, 0], vec![6, 1]]),
+            ("DE", vec![vec![0, 7], vec![1, 8], vec![2, 9]]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dp_variants_agree() {
+        let db = chain4();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let a = best_no_cartesian(&mut o, full, DpAlgorithm::DpSub).unwrap();
+        let b = best_no_cartesian(&mut o, full, DpAlgorithm::DpSize).unwrap();
+        let c = best_no_cartesian(&mut o, full, DpAlgorithm::DpCcp).unwrap();
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.cost, c.cost);
+        assert_eq!(a.cost, a.strategy.cost(&mut o));
+        assert_eq!(b.cost, b.strategy.cost(&mut o));
+        assert_eq!(c.cost, c.strategy.cost(&mut o));
+        assert!(!c.strategy.uses_cartesian(db.scheme()));
+    }
+
+    #[test]
+    fn dp_variants_agree_on_random_schemes() {
+        use mjoin_gen::{data, data::DataConfig, schemes};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in 2..=6 {
+            let (cat, scheme) = schemes::random_connected(n, 1, &mut rng);
+            let cfg = DataConfig { tuples_per_relation: 3, domain: 4, ensure_nonempty: true };
+            let db = data::uniform(cat, scheme, &cfg, &mut rng);
+            let mut o = ExactOracle::new(&db);
+            let full = db.scheme().full_set();
+            let costs: Vec<Option<u64>> = [DpAlgorithm::DpSub, DpAlgorithm::DpSize, DpAlgorithm::DpCcp]
+                .into_iter()
+                .map(|alg| best_no_cartesian(&mut o, full, alg).map(|p| p.cost))
+                .collect();
+            assert_eq!(costs[0], costs[1], "n={n}");
+            assert_eq!(costs[0], costs[2], "n={n}");
+        }
+    }
+
+    #[test]
+    fn no_cartesian_matches_filtered_enumeration() {
+        let db = chain4();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let dp = best_no_cartesian(&mut o, full, DpAlgorithm::DpSub)
+            .unwrap()
+            .cost;
+        let brute = mjoin_strategy::enumerate_no_cartesian(db.scheme(), full)
+            .into_iter()
+            .map(|s| s.cost(&mut o))
+            .min()
+            .unwrap();
+        assert_eq!(dp, brute);
+    }
+
+    #[test]
+    fn linear_no_cartesian_matches_filtered_enumeration() {
+        let db = chain4();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let dp = best_linear(&mut o, full, true).cost;
+        let brute = mjoin_strategy::enumerate_linear(full)
+            .into_iter()
+            .filter(|s| !s.uses_cartesian(db.scheme()))
+            .map(|s| s.cost(&mut o))
+            .min()
+            .unwrap();
+        assert_eq!(dp, brute);
+        let free = best_linear(&mut o, full, false).cost;
+        assert!(free <= dp);
+    }
+
+    #[test]
+    fn avoid_cartesian_on_components() {
+        // Two components: {AB, BC} and {XY}.
+        let db = Database::from_specs(&[
+            ("AB", vec![vec![1, 10], vec![2, 20]]),
+            ("BC", vec![vec![10, 5], vec![20, 6], vec![30, 7]]),
+            ("XY", vec![vec![0, 0], vec![1, 1]]),
+        ])
+        .unwrap();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let plan = best_avoid_cartesian(&mut o, full, DpAlgorithm::DpSub).unwrap();
+        assert!(plan.strategy.avoids_cartesian(db.scheme()));
+        let brute = mjoin_strategy::enumerate_avoiding_cartesian(db.scheme(), full)
+            .into_iter()
+            .map(|s| s.cost(&mut o))
+            .min()
+            .unwrap();
+        assert_eq!(plan.cost, brute);
+    }
+
+    #[test]
+    fn avoid_cartesian_three_components_ordering_matters() {
+        // Components of very different sizes: the DP should multiply the
+        // small ones first.
+        let rows = |n: i64, base: i64| -> Vec<Vec<i64>> {
+            (0..n).map(|i| vec![base + i, base + i]).collect()
+        };
+        let db = Database::from_specs(&[
+            ("AB", rows(2, 0)),
+            ("CD", rows(3, 100)),
+            ("EF", rows(50, 200)),
+        ])
+        .unwrap();
+        let mut o = ExactOracle::new(&db);
+        let plan = best_avoid_cartesian(&mut o, db.scheme().full_set(), DpAlgorithm::DpSub)
+            .unwrap();
+        // (AB × CD) first: 6, then × EF: 300 ⇒ 306. Any order touching EF
+        // early costs ≥ 100 + 300.
+        assert_eq!(plan.cost, 306);
+    }
+
+    #[test]
+    fn bushy_beats_or_ties_linear_always() {
+        let db = chain4();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        assert!(best_bushy(&mut o, full).cost <= best_linear(&mut o, full, false).cost);
+    }
+}

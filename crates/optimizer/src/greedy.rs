@@ -1,0 +1,164 @@
+//! Greedy heuristics for queries beyond exact-DP reach.
+//!
+//! The paper's Section 1 cites the expectation that "nontraditional
+//! database systems may have to evaluate expressions containing hundreds of
+//! joins" — far beyond `O(3ⁿ)` or even `O(2ⁿ)` exact search. These two
+//! heuristics cover that regime in the large-n experiments:
+//!
+//! * [`greedy_bushy`] — repeatedly joins the pair of current sub-results
+//!   with the smallest output (smallest-intermediate-first);
+//! * [`greedy_linear`] — grows one left-deep chain, always adding the
+//!   relation that keeps the running intermediate smallest.
+
+use mjoin_cost::CardinalityOracle;
+use mjoin_hypergraph::RelSet;
+use mjoin_strategy::Strategy;
+
+use crate::plan::Plan;
+
+/// Greedy bushy planner: maintain a forest of sub-strategies, repeatedly
+/// merge the pair whose join output is smallest (ties: prefer linked pairs,
+/// then lower indices).
+pub fn greedy_bushy<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Plan {
+    assert!(!subset.is_empty(), "cannot plan the empty database");
+    let mut forest: Vec<(RelSet, Strategy)> = subset
+        .iter()
+        .map(|i| (RelSet::singleton(i), Strategy::leaf(i)))
+        .collect();
+    let mut cost = 0u64;
+    while forest.len() > 1 {
+        let mut best: Option<(u64, bool, usize, usize)> = None;
+        for i in 0..forest.len() {
+            for j in (i + 1)..forest.len() {
+                let linked = oracle.scheme().linked(forest[i].0, forest[j].0);
+                let out = oracle.tau_join(forest[i].0, forest[j].0);
+                // Smaller output wins; linked breaks ties.
+                let key = (out, !linked, i, j);
+                if best.is_none_or(|(bo, bnl, bi, bj)| key < (bo, bnl, bi, bj)) {
+                    best = Some(key);
+                }
+            }
+        }
+        let (out, _, i, j) = best.expect("≥ 2 trees remain");
+        cost = cost.saturating_add(out);
+        // i < j, so removing j first leaves index i pointing at the same
+        // tree (swap_remove only disturbs positions ≥ j).
+        let (sj_set, sj) = forest.swap_remove(j);
+        let (si_set, si) = forest.swap_remove(i);
+        let merged = Strategy::join(si, sj).expect("forest trees are disjoint");
+        forest.push((si_set.union(sj_set), merged));
+    }
+    let (_, strategy) = forest.pop().expect("one tree remains");
+    Plan { strategy, cost }
+}
+
+/// Greedy linear planner: start from the smallest relation, then repeatedly
+/// append the relation minimizing the next intermediate (preferring linked
+/// extensions).
+pub fn greedy_linear<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Plan {
+    assert!(!subset.is_empty(), "cannot plan the empty database");
+    let start = subset
+        .iter()
+        .min_by_key(|&i| (oracle.tau(RelSet::singleton(i)), i))
+        .expect("nonempty");
+    let mut prefix = RelSet::singleton(start);
+    let mut order = vec![start];
+    let mut cost = 0u64;
+    while prefix != subset {
+        let next = subset
+            .difference(prefix)
+            .iter()
+            .min_by_key(|&i| {
+                let linked = oracle.scheme().linked(prefix, RelSet::singleton(i));
+                (
+                    !linked,
+                    oracle.tau_join(prefix, RelSet::singleton(i)),
+                    i,
+                )
+            })
+            .expect("prefix is proper");
+        cost = cost.saturating_add(oracle.tau_join(prefix, RelSet::singleton(next)));
+        prefix.insert(next);
+        order.push(next);
+    }
+    Plan {
+        strategy: Strategy::left_deep(&order),
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp;
+    use mjoin_cost::{Database, ExactOracle};
+
+    fn chain4() -> Database {
+        Database::from_specs(&[
+            ("AB", vec![vec![1, 10], vec![2, 20], vec![3, 20]]),
+            ("BC", vec![vec![10, 5], vec![20, 5], vec![20, 6]]),
+            ("CD", vec![vec![5, 0], vec![6, 1]]),
+            ("DE", vec![vec![0, 7], vec![1, 8], vec![2, 9]]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_plans_are_valid_and_costed_correctly() {
+        let db = chain4();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+
+        let gb = greedy_bushy(&mut o, full);
+        assert_eq!(gb.strategy.set(), full);
+        assert!(gb.strategy.validate(db.scheme()));
+        assert_eq!(gb.cost, gb.strategy.cost(&mut o));
+
+        let gl = greedy_linear(&mut o, full);
+        assert!(gl.strategy.is_linear());
+        assert_eq!(gl.cost, gl.strategy.cost(&mut o));
+    }
+
+    #[test]
+    fn greedy_is_bounded_below_by_optimum() {
+        let db = chain4();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let opt = dp::best_bushy(&mut o, full).cost;
+        assert!(greedy_bushy(&mut o, full).cost >= opt);
+        assert!(greedy_linear(&mut o, full).cost >= opt);
+    }
+
+    #[test]
+    fn greedy_linear_bounded_by_linear_optimum() {
+        let db = chain4();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let opt_lin = dp::best_linear(&mut o, full, false).cost;
+        assert!(greedy_linear(&mut o, full).cost >= opt_lin);
+    }
+
+    #[test]
+    fn greedy_on_singleton() {
+        let db = Database::from_specs(&[("AB", vec![vec![1, 2]])]).unwrap();
+        let mut o = ExactOracle::new(&db);
+        let s = RelSet::singleton(0);
+        assert_eq!(greedy_bushy(&mut o, s).cost, 0);
+        assert_eq!(greedy_linear(&mut o, s).cost, 0);
+    }
+
+    #[test]
+    fn greedy_handles_unconnected_schemes() {
+        let db = Database::from_specs(&[
+            ("AB", vec![vec![1, 2], vec![3, 4]]),
+            ("CD", vec![vec![5, 6]]),
+        ])
+        .unwrap();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let plan = greedy_bushy(&mut o, full);
+        assert_eq!(plan.cost, 2); // the unavoidable product
+        let lin = greedy_linear(&mut o, full);
+        assert_eq!(lin.cost, 2);
+    }
+}

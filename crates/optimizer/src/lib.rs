@@ -1,0 +1,51 @@
+//! Optimizers searching the strategy subspaces of the paper.
+//!
+//! The paper's motivating question is about query optimizers that restrict
+//! their search "to strategies that are linear (e.g., of the form
+//! `((R₁ ⋈ R₂) ⋈ R₃) ⋈ R₄`), or that avoid Cartesian products, or both",
+//! naming the policies of System R, INGRES, GAMMA, Starburst and
+//! Office-by-Example. This crate implements those search policies as
+//! [`SearchSpace`] variants and finds the `τ`-cheapest strategy in each:
+//!
+//! * [`SearchSpace::All`] — every strategy (bushy, products allowed), by
+//!   dynamic programming over subsets (`O(3ⁿ)`);
+//! * [`SearchSpace::Linear`] — linear strategies (GAMMA), by prefix-set DP
+//!   (`O(2ⁿ·n)`);
+//! * [`SearchSpace::NoCartesian`] — product-free strategies (INGRES,
+//!   Starburst), by DP over connected subsets with linked splits
+//!   ([`DpAlgorithm::DpSub`]) or by size-stratified pair merging
+//!   ([`DpAlgorithm::DpSize`]) — the two enumeration styles are an ablation
+//!   pair;
+//! * [`SearchSpace::LinearNoCartesian`] — both restrictions (System R,
+//!   Office-by-Example);
+//! * [`SearchSpace::AvoidCartesian`] — the paper's extension of
+//!   product-avoidance to unconnected schemes: each component evaluated
+//!   individually and product-free, components then multiplied in the
+//!   cheapest order.
+//!
+//! Greedy heuristics ([`greedy_bushy`], [`greedy_linear`]) cover the
+//! regimes where exact DP is infeasible.
+//!
+//! Costs are always the paper's `τ` (total tuples generated), supplied by a
+//! [`CardinalityOracle`](mjoin_cost::CardinalityOracle).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bottleneck;
+mod complexity;
+mod dp;
+mod explain;
+mod greedy;
+mod ikkbz;
+mod monotone;
+mod plan;
+
+pub use bottleneck::{best_bottleneck, bottleneck_of};
+pub use complexity::{enumeration_stats, EnumerationStats};
+pub use dp::DpAlgorithm;
+pub use explain::{Explanation, ExplainStep};
+pub use monotone::{best_monotone, exists_monotone, Monotonicity};
+pub use greedy::{greedy_bushy, greedy_linear};
+pub use ikkbz::ikkbz;
+pub use plan::{optimize, optimize_with, Plan, SearchSpace};

@@ -1,0 +1,296 @@
+//! Natural-join implementations.
+//!
+//! The paper defines the natural join
+//! `R ⋈ R' = { t over R ∪ R' : t[R] ∈ R and t[R'] ∈ R' }` and measures a
+//! strategy by how many tuples its joins emit — never by *how* each join is
+//! executed. Three classic algorithms are provided so the benches can show
+//! that τ is indeed execution-independent while wall-clock cost is not:
+//! hash join (default), sort-merge join, and nested-loop join. All three
+//! return the same canonical [`Relation`].
+
+use crate::attr::{AttrSet, Attribute};
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Physical join algorithm selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum JoinAlgorithm {
+    /// Build a hash table on the smaller input keyed by the shared
+    /// attributes, probe with the larger. O(|R| + |S| + |out|) expected.
+    #[default]
+    Hash,
+    /// Sort both inputs by the shared attributes and merge.
+    SortMerge,
+    /// Compare every pair of tuples. O(|R|·|S|); kept as the correctness
+    /// oracle for the other two.
+    NestedLoop,
+}
+
+/// Column plan for assembling an output tuple from a pair of matching
+/// input tuples.
+struct JoinPlan {
+    out_scheme: AttrSet,
+    /// Shared attribute columns in `left` (ascending by attribute).
+    left_key: Vec<usize>,
+    /// Shared attribute columns in `right`, in the same attribute order as
+    /// `left_key`.
+    right_key: Vec<usize>,
+    /// For each output column: (from_left, source column index).
+    sources: Vec<(bool, usize)>,
+}
+
+impl JoinPlan {
+    fn new(left: &Relation, right: &Relation) -> Self {
+        let shared = left.scheme().intersect(right.scheme());
+        let out_scheme = left.scheme().union(right.scheme());
+        let left_key: Vec<usize> = shared
+            .iter()
+            .map(|a| left.column_of(a).expect("shared attr in left"))
+            .collect();
+        let right_key: Vec<usize> = shared
+            .iter()
+            .map(|a| right.column_of(a).expect("shared attr in right"))
+            .collect();
+        let sources = out_scheme
+            .iter()
+            .map(|a: Attribute| match left.column_of(a) {
+                Some(c) => (true, c),
+                None => (false, right.column_of(a).expect("attr in one side")),
+            })
+            .collect();
+        JoinPlan {
+            out_scheme,
+            left_key,
+            right_key,
+            sources,
+        }
+    }
+
+    #[inline]
+    fn emit(&self, l: &Tuple, r: &Tuple) -> Tuple {
+        let values: Vec<Value> = self
+            .sources
+            .iter()
+            .map(|&(from_left, c)| {
+                if from_left {
+                    l.values()[c].clone()
+                } else {
+                    r.values()[c].clone()
+                }
+            })
+            .collect();
+        Tuple::new(values)
+    }
+
+    #[inline]
+    fn key<'a>(&self, t: &'a Tuple, left: bool) -> Vec<&'a Value> {
+        let cols = if left { &self.left_key } else { &self.right_key };
+        cols.iter().map(|&c| &t.values()[c]).collect()
+    }
+}
+
+/// Joins two relations with the requested algorithm.
+pub(crate) fn join(left: &Relation, right: &Relation, algorithm: JoinAlgorithm) -> Relation {
+    let plan = JoinPlan::new(left, right);
+    let tuples = match algorithm {
+        JoinAlgorithm::Hash => hash_join(left, right, &plan),
+        JoinAlgorithm::SortMerge => sort_merge_join(left, right, &plan),
+        JoinAlgorithm::NestedLoop => nested_loop_join(left, right, &plan),
+    };
+    Relation::from_tuples_unchecked(plan.out_scheme, tuples)
+}
+
+fn hash_join(left: &Relation, right: &Relation, plan: &JoinPlan) -> Vec<Tuple> {
+    // Build on the smaller side.
+    let (build, probe, build_is_left) = if left.tau() <= right.tau() {
+        (left, right, true)
+    } else {
+        (right, left, false)
+    };
+    let mut table: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::with_capacity(build.tuples().len());
+    for t in build.tuples() {
+        table.entry(plan.key(t, build_is_left)).or_default().push(t);
+    }
+    let mut out = Vec::new();
+    for t in probe.tuples() {
+        if let Some(matches) = table.get(&plan.key(t, !build_is_left)) {
+            for m in matches {
+                if build_is_left {
+                    out.push(plan.emit(m, t));
+                } else {
+                    out.push(plan.emit(t, m));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn sort_merge_join(left: &Relation, right: &Relation, plan: &JoinPlan) -> Vec<Tuple> {
+    // Sort both sides by their shared-attribute key.
+    fn key_cmp(cols: &[usize], a: &Tuple, b: &Tuple) -> std::cmp::Ordering {
+        for &c in cols {
+            match a.values()[c].cmp(&b.values()[c]) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+    let mut ls: Vec<&Tuple> = left.tuples().iter().collect();
+    let mut rs: Vec<&Tuple> = right.tuples().iter().collect();
+    ls.sort_by(|a, b| key_cmp(&plan.left_key, a, b));
+    rs.sort_by(|a, b| key_cmp(&plan.right_key, a, b));
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < ls.len() && j < rs.len() {
+        let lk = plan.key(ls[i], true);
+        let rk = plan.key(rs[j], false);
+        match lk.cmp(&rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Find the group boundaries on both sides, emit the product.
+                let i_end = (i..ls.len())
+                    .find(|&k| plan.key(ls[k], true) != lk)
+                    .unwrap_or(ls.len());
+                let j_end = (j..rs.len())
+                    .find(|&k| plan.key(rs[k], false) != rk)
+                    .unwrap_or(rs.len());
+                for l in &ls[i..i_end] {
+                    for r in &rs[j..j_end] {
+                        out.push(plan.emit(l, r));
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+fn nested_loop_join(left: &Relation, right: &Relation, plan: &JoinPlan) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for l in left.tuples() {
+        let lk = plan.key(l, true);
+        for r in right.tuples() {
+            if lk == plan.key(r, false) {
+                out.push(plan.emit(l, r));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+
+    fn rel(spec: &str, rows: Vec<Vec<i64>>) -> Relation {
+        let s = Catalog::with_letters().scheme(spec).unwrap();
+        Relation::from_int_rows(s, rows).unwrap()
+    }
+
+    const ALGOS: [JoinAlgorithm; 3] = [
+        JoinAlgorithm::Hash,
+        JoinAlgorithm::SortMerge,
+        JoinAlgorithm::NestedLoop,
+    ];
+
+    #[test]
+    fn join_on_shared_attribute() {
+        let r = rel("AB", vec![vec![1, 10], vec![2, 20], vec![3, 20]]);
+        let s = rel("BC", vec![vec![10, 100], vec![20, 200], vec![20, 201]]);
+        for alg in ALGOS {
+            let j = r.natural_join_with(&s, alg);
+            // B=10: 1 pair. B=20: 2 left × 2 right = 4 pairs.
+            assert_eq!(j.tau(), 5, "{alg:?}");
+            assert_eq!(j.scheme().len(), 3);
+        }
+    }
+
+    #[test]
+    fn disjoint_schemes_give_cartesian_product() {
+        let r = rel("AB", vec![vec![1, 2], vec![3, 4]]);
+        let s = rel("CD", vec![vec![5, 6], vec![7, 8], vec![9, 10]]);
+        for alg in ALGOS {
+            let j = r.natural_join_with(&s, alg);
+            assert_eq!(j.tau(), r.tau() * s.tau(), "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn join_with_empty_relation_is_empty() {
+        let r = rel("AB", vec![vec![1, 2]]);
+        let s = Relation::empty(Catalog::with_letters().scheme("BC").unwrap());
+        for alg in ALGOS {
+            assert!(r.natural_join_with(&s, alg).is_empty(), "{alg:?}");
+            assert!(s.natural_join_with(&r, alg).is_empty(), "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn join_over_full_overlap_is_intersection() {
+        let r = rel("AB", vec![vec![1, 2], vec![3, 4]]);
+        let s = rel("AB", vec![vec![3, 4], vec![5, 6]]);
+        for alg in ALGOS {
+            let j = r.natural_join_with(&s, alg);
+            assert_eq!(j.tau(), 1, "{alg:?}");
+            assert_eq!(j.tuples()[0].values()[0], Value::Int(3));
+        }
+    }
+
+    #[test]
+    fn join_is_commutative() {
+        let r = rel("AB", vec![vec![1, 10], vec![2, 20]]);
+        let s = rel("BC", vec![vec![10, 5], vec![10, 6]]);
+        for alg in ALGOS {
+            assert_eq!(
+                r.natural_join_with(&s, alg),
+                s.natural_join_with(&r, alg),
+                "{alg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_is_associative() {
+        let r = rel("AB", vec![vec![1, 10], vec![2, 20]]);
+        let s = rel("BC", vec![vec![10, 5], vec![20, 6]]);
+        let t = rel("CD", vec![vec![5, 7], vec![6, 8]]);
+        let left_first = r.natural_join(&s).natural_join(&t);
+        let right_first = r.natural_join(&s.natural_join(&t));
+        assert_eq!(left_first, right_first);
+    }
+
+    #[test]
+    fn algorithms_agree_on_paper_example_1() {
+        // Example 1 of the paper: τ(R1 ⋈ R2) = 10.
+        let r1 = rel("AB", vec![vec![100, 0], vec![101, 0], vec![102, 0], vec![103, 1]]);
+        let r2 = rel("BC", vec![vec![0, 200], vec![0, 201], vec![0, 202], vec![1, 203]]);
+        for alg in ALGOS {
+            assert_eq!(r1.natural_join_with(&r2, alg).tau(), 10, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn column_ordering_is_attribute_ascending_regardless_of_sides() {
+        // Join CD ⋈ AC: output scheme ACD in ascending attribute order.
+        let mut cat = Catalog::with_letters();
+        let cd = cat.scheme("CD").unwrap();
+        let ac = cat.scheme("AC").unwrap();
+        let r = Relation::from_int_rows(cd, vec![vec![1, 2]]).unwrap();
+        let s = Relation::from_int_rows(ac, vec![vec![9, 1]]).unwrap();
+        let j = r.natural_join(&s);
+        let names: Vec<&str> = j.attrs().iter().map(|&a| cat.name(a).unwrap()).collect();
+        assert_eq!(names, vec!["A", "C", "D"]);
+        assert_eq!(
+            j.tuples()[0].values(),
+            &[Value::Int(9), Value::Int(1), Value::Int(2)]
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! A minimal, self-contained relational engine.
+//!
+//! This crate implements exactly the formal machinery of Section 2 of
+//! Tay, *On the Optimality of Strategies for Multiple Joins* (PODS 1990 /
+//! JACM 1993): attributes, relation schemes, tuples, relation states, and
+//! the natural join — plus the auxiliary operators (projection, selection,
+//! semijoin, set operations) that the paper's Sections 4–5 rely on.
+//!
+//! # Design
+//!
+//! * **Attributes** are interned: an [`Attribute`] is a small integer index
+//!   into a [`Catalog`], and a relation scheme is an [`AttrSet`] — a
+//!   fixed-width bitset supporting up to [`MAX_ATTRS`] attributes. All
+//!   scheme-level reasoning (linked / disjoint / connected, Section 2 of the
+//!   paper) reduces to word-parallel bit operations.
+//! * **Relation states are sets.** A [`Relation`] stores its tuples sorted
+//!   and deduplicated, so equality, hashing and iteration order are
+//!   deterministic — important both for reproducible experiments and for the
+//!   paper's cost measure τ (the *number of tuples*, [`Relation::tau`]).
+//! * **Joins** come in three interchangeable implementations
+//!   ([`JoinAlgorithm`]): hash join (default), sort-merge join and
+//!   nested-loop join. All three produce identical canonical relations; the
+//!   benches in `mjoin-bench` ablate them against each other.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mjoin_relation::{Catalog, Relation, Value};
+//!
+//! let mut cat = Catalog::new();
+//! let ab = cat.scheme("AB").unwrap();
+//! let bc = cat.scheme("BC").unwrap();
+//!
+//! let r = Relation::from_rows(ab, vec![
+//!     vec![Value::from(1), Value::from(10)],
+//!     vec![Value::from(2), Value::from(20)],
+//! ]).unwrap();
+//! let s = Relation::from_rows(bc, vec![
+//!     vec![Value::from(10), Value::from(100)],
+//!     vec![Value::from(30), Value::from(300)],
+//! ]).unwrap();
+//!
+//! let joined = r.natural_join(&s);
+//! assert_eq!(joined.tau(), 1); // only B = 10 matches
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attr;
+mod error;
+mod join;
+mod ops;
+mod relation;
+mod value;
+
+pub use attr::{AttrSet, AttrSetIter, Attribute, Catalog, MAX_ATTRS};
+pub use error::RelationError;
+pub use join::JoinAlgorithm;
+pub use relation::{Relation, Tuple};
+pub use value::Value;

@@ -1,0 +1,251 @@
+//! Unary and set-level relational operators.
+//!
+//! These back the paper's later sections: projection (`t[X]`), semijoins
+//! (Bernstein–Chiu reduction, Section 5), consistency, and the set
+//! operations that Section 5 re-interprets ⋈ over.
+
+use crate::attr::AttrSet;
+use crate::error::RelationError;
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+
+impl Relation {
+    /// Projection `π_X(R)`: restriction of every tuple to `X`, deduplicated.
+    ///
+    /// # Errors
+    /// [`RelationError::NotASubscheme`] if `X ⊄ scheme`.
+    pub fn project(&self, target: AttrSet) -> Result<Relation, RelationError> {
+        if !target.is_subset_of(self.scheme()) {
+            return Err(RelationError::NotASubscheme);
+        }
+        let cols: Vec<usize> = target
+            .iter()
+            .map(|a| self.column_of(a).expect("subset attr present"))
+            .collect();
+        let tuples: Vec<Tuple> = self
+            .tuples()
+            .iter()
+            .map(|t| {
+                Tuple::new(cols.iter().map(|&c| t.values()[c].clone()).collect())
+            })
+            .collect();
+        Ok(Relation::from_tuples_unchecked(target, tuples))
+    }
+
+    /// Selection: keeps the tuples satisfying `predicate`.
+    ///
+    /// The predicate sees values in canonical (ascending-attribute) order.
+    pub fn select<F: FnMut(&Tuple) -> bool>(&self, mut predicate: F) -> Relation {
+        let tuples: Vec<Tuple> = self
+            .tuples()
+            .iter()
+            .filter(|t| predicate(t))
+            .cloned()
+            .collect();
+        Relation::from_tuples_unchecked(self.scheme(), tuples)
+    }
+
+    /// Semijoin `R ⋉ S`: the tuples of `R` that join with at least one tuple
+    /// of `S`. When the schemes are disjoint this keeps all of `R` iff `S`
+    /// is nonempty.
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        let shared = self.scheme().intersect(other.scheme());
+        if shared.is_empty() {
+            return if other.is_empty() {
+                Relation::empty(self.scheme())
+            } else {
+                self.clone()
+            };
+        }
+        let other_proj = other.project(shared).expect("shared ⊆ other");
+        let cols: Vec<usize> = shared
+            .iter()
+            .map(|a| self.column_of(a).expect("shared ⊆ self"))
+            .collect();
+        self.select(|t| {
+            let key = Tuple::new(cols.iter().map(|&c| t.values()[c].clone()).collect());
+            other_proj.contains(&key)
+        })
+    }
+
+    /// Antijoin `R ▷ S`: the tuples of `R` that join with *no* tuple of `S`.
+    pub fn antijoin(&self, other: &Relation) -> Relation {
+        let keep = self.semijoin(other);
+        self.select(|t| !keep.contains(t))
+    }
+
+    /// Set union (schemes must match).
+    ///
+    /// # Panics
+    /// Panics if the schemes differ — union of unlike schemes is a type
+    /// error in the caller, not a data condition.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.scheme(), other.scheme(), "union requires equal schemes");
+        let mut tuples: Vec<Tuple> = self.tuples().to_vec();
+        tuples.extend(other.tuples().iter().cloned());
+        Relation::from_tuples_unchecked(self.scheme(), tuples)
+    }
+
+    /// Set intersection (schemes must match; see [`Relation::union`]).
+    pub fn intersection(&self, other: &Relation) -> Relation {
+        assert_eq!(
+            self.scheme(),
+            other.scheme(),
+            "intersection requires equal schemes"
+        );
+        self.select(|t| other.contains(t))
+    }
+
+    /// Set difference `R − S` (schemes must match; see [`Relation::union`]).
+    pub fn difference(&self, other: &Relation) -> Relation {
+        assert_eq!(
+            self.scheme(),
+            other.scheme(),
+            "difference requires equal schemes"
+        );
+        self.select(|t| !other.contains(t))
+    }
+
+    /// Are `self` and `other` *consistent* in the sense of Beeri et al.:
+    /// `R[R ∩ R'] = R'[R ∩ R']`?
+    ///
+    /// Pairwise consistency across a database is the precondition of the
+    /// paper's Section 5 results (`C4` via acyclicity).
+    pub fn consistent_with(&self, other: &Relation) -> bool {
+        let shared = self.scheme().intersect(other.scheme());
+        if shared.is_empty() {
+            // Vacuously consistent: both projections are the empty-scheme
+            // relation containing the empty tuple (or nothing, if a side is
+            // empty). We follow the convention that disjoint schemes are
+            // consistent unless exactly one side is empty.
+            return self.is_empty() == other.is_empty();
+        }
+        let a = self.project(shared).expect("shared ⊆ self");
+        let b = other.project(shared).expect("shared ⊆ other");
+        a == b
+    }
+
+    /// All values appearing in column `col` (deduplicated, sorted).
+    pub fn column_values(&self, col: usize) -> Vec<Value> {
+        let mut vs: Vec<Value> = self
+            .tuples()
+            .iter()
+            .map(|t| t.values()[col].clone())
+            .collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+
+    fn rel(spec: &str, rows: Vec<Vec<i64>>) -> Relation {
+        let s = Catalog::with_letters().scheme(spec).unwrap();
+        Relation::from_int_rows(s, rows).unwrap()
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let r = rel("AB", vec![vec![1, 10], vec![1, 20], vec![2, 10]]);
+        let a = Catalog::with_letters().scheme("A").unwrap();
+        let p = r.project(a).unwrap();
+        assert_eq!(p.tau(), 2);
+    }
+
+    #[test]
+    fn projection_requires_subscheme() {
+        let r = rel("AB", vec![vec![1, 2]]);
+        let c = Catalog::with_letters().scheme("C").unwrap();
+        assert_eq!(r.project(c).unwrap_err(), RelationError::NotASubscheme);
+    }
+
+    #[test]
+    fn projection_to_full_scheme_is_identity() {
+        let r = rel("AB", vec![vec![1, 2], vec![3, 4]]);
+        assert_eq!(r.project(r.scheme()).unwrap(), r);
+    }
+
+    #[test]
+    fn selection_filters() {
+        let r = rel("AB", vec![vec![1, 10], vec![2, 20], vec![3, 30]]);
+        let s = r.select(|t| t.values()[0].as_int().unwrap() >= 2);
+        assert_eq!(s.tau(), 2);
+    }
+
+    #[test]
+    fn semijoin_keeps_matching() {
+        let r = rel("AB", vec![vec![1, 10], vec![2, 20], vec![3, 30]]);
+        let s = rel("BC", vec![vec![10, 0], vec![30, 0]]);
+        let sj = r.semijoin(&s);
+        assert_eq!(sj.tau(), 2);
+        assert_eq!(sj.scheme(), r.scheme());
+    }
+
+    #[test]
+    fn semijoin_disjoint_schemes() {
+        let r = rel("AB", vec![vec![1, 2]]);
+        let nonempty = rel("CD", vec![vec![1, 1]]);
+        let empty = Relation::empty(Catalog::with_letters().scheme("CD").unwrap());
+        assert_eq!(r.semijoin(&nonempty), r);
+        assert!(r.semijoin(&empty).is_empty());
+    }
+
+    #[test]
+    fn antijoin_complements_semijoin() {
+        let r = rel("AB", vec![vec![1, 10], vec![2, 20], vec![3, 30]]);
+        let s = rel("BC", vec![vec![10, 0]]);
+        let sj = r.semijoin(&s);
+        let aj = r.antijoin(&s);
+        assert_eq!(sj.tau() + aj.tau(), r.tau());
+        assert!(sj.tuples().iter().all(|t| !aj.contains(t)));
+    }
+
+    #[test]
+    fn set_operations() {
+        let r = rel("A", vec![vec![1], vec![2]]);
+        let s = rel("A", vec![vec![2], vec![3]]);
+        assert_eq!(r.union(&s).tau(), 3);
+        assert_eq!(r.intersection(&s).tau(), 1);
+        assert_eq!(r.difference(&s).tau(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "union requires equal schemes")]
+    fn union_rejects_mismatched_schemes() {
+        let r = rel("A", vec![vec![1]]);
+        let s = rel("B", vec![vec![1]]);
+        let _ = r.union(&s);
+    }
+
+    #[test]
+    fn consistency() {
+        let r = rel("AB", vec![vec![1, 10], vec![2, 20]]);
+        let s_consistent = rel("BC", vec![vec![10, 0], vec![20, 1]]);
+        let s_inconsistent = rel("BC", vec![vec![10, 0], vec![99, 1]]);
+        assert!(r.consistent_with(&s_consistent));
+        assert!(!r.consistent_with(&s_inconsistent));
+    }
+
+    #[test]
+    fn consistency_semijoin_reduction_fixpoint() {
+        // After mutual semijoin reduction, two relations are consistent.
+        let r = rel("AB", vec![vec![1, 10], vec![2, 20], vec![3, 30]]);
+        let s = rel("BC", vec![vec![10, 0], vec![40, 1]]);
+        let r2 = r.semijoin(&s);
+        let s2 = s.semijoin(&r2);
+        assert!(r2.consistent_with(&s2));
+    }
+
+    #[test]
+    fn column_values_sorted_dedup() {
+        let r = rel("AB", vec![vec![3, 0], vec![1, 0], vec![3, 1]]);
+        assert_eq!(
+            r.column_values(0),
+            vec![Value::Int(1), Value::Int(3)]
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Relation states: canonical sets of tuples over a scheme.
+
+use std::fmt;
+
+use crate::attr::{AttrSet, Attribute};
+use crate::error::RelationError;
+use crate::value::Value;
+
+/// A tuple over a relation scheme.
+///
+/// Values are stored in *canonical order*: ascending order of the attribute
+/// indices of the owning relation's scheme. A tuple is meaningless without
+/// its scheme; [`Relation`] keeps the two together.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Builds a tuple from values already in canonical order.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values.into_boxed_slice())
+    }
+
+    /// The values, in canonical (ascending-attribute) order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+/// A relation state: a finite set of tuples over a scheme.
+///
+/// Invariants (enforced by every constructor):
+/// * every tuple has arity `scheme.len()`, values in canonical order;
+/// * tuples are sorted and deduplicated, so `==`, hashing and iteration are
+///   deterministic.
+///
+/// The paper's cost measure is `τ(R)` — the number of tuples — exposed as
+/// [`Relation::tau`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Relation {
+    scheme: AttrSet,
+    /// Ascending attribute list; `attrs[k]` is the attribute of column `k`.
+    attrs: Box<[Attribute]>,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation over `scheme`.
+    pub fn empty(scheme: AttrSet) -> Self {
+        Relation {
+            scheme,
+            attrs: scheme.iter().collect(),
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Builds a relation from rows whose values are in canonical
+    /// (ascending-attribute) order. Rows are sorted and deduplicated.
+    ///
+    /// # Errors
+    /// [`RelationError::ArityMismatch`] if any row's width differs from the
+    /// scheme's arity.
+    pub fn from_rows(
+        scheme: AttrSet,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Self, RelationError> {
+        let arity = scheme.len();
+        let mut tuples = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != arity {
+                return Err(RelationError::ArityMismatch {
+                    expected: arity,
+                    got: row.len(),
+                });
+            }
+            tuples.push(Tuple::new(row));
+        }
+        Ok(Self::from_tuples_unchecked(scheme, tuples))
+    }
+
+    /// Builds a relation from integer rows — the common case in generators
+    /// and tests.
+    pub fn from_int_rows(
+        scheme: AttrSet,
+        rows: Vec<Vec<i64>>,
+    ) -> Result<Self, RelationError> {
+        Self::from_rows(
+            scheme,
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect())
+                .collect(),
+        )
+    }
+
+    /// Internal constructor: tuples must already have the right arity.
+    pub(crate) fn from_tuples_unchecked(scheme: AttrSet, mut tuples: Vec<Tuple>) -> Self {
+        tuples.sort_unstable();
+        tuples.dedup();
+        Relation {
+            scheme,
+            attrs: scheme.iter().collect(),
+            tuples,
+        }
+    }
+
+    /// The relation's scheme.
+    #[inline]
+    pub fn scheme(&self) -> AttrSet {
+        self.scheme
+    }
+
+    /// The scheme as an ascending attribute slice (`attrs[k]` is column `k`).
+    #[inline]
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// τ(R): the number of tuples. This is the paper's cost measure.
+    #[inline]
+    pub fn tau(&self) -> u64 {
+        self.tuples.len() as u64
+    }
+
+    /// Is the relation state empty (`R = φ`)?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, sorted canonically.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Column index of `attr` within this relation, if present.
+    #[inline]
+    pub fn column_of(&self, attr: Attribute) -> Option<usize> {
+        // attrs is ascending, so binary search is exact.
+        self.attrs.binary_search(&attr).ok()
+    }
+
+    /// Does the relation contain `tuple`?
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.binary_search(tuple).is_ok()
+    }
+
+    /// Natural join with the default algorithm (hash join).
+    ///
+    /// When the schemes are disjoint this degenerates to the Cartesian
+    /// product, exactly as in the paper's definition.
+    pub fn natural_join(&self, other: &Relation) -> Relation {
+        crate::join::join(self, other, crate::join::JoinAlgorithm::Hash)
+    }
+
+    /// Natural join with an explicit algorithm.
+    pub fn natural_join_with(
+        &self,
+        other: &Relation,
+        algorithm: crate::join::JoinAlgorithm,
+    ) -> Relation {
+        crate::join::join(self, other, algorithm)
+    }
+}
+
+impl Relation {
+    /// Renders the relation as an aligned text table using the catalog's
+    /// attribute names — the way the paper prints its example states.
+    ///
+    /// ```
+    /// use mjoin_relation::{Catalog, Relation};
+    /// let mut cat = Catalog::new();
+    /// let ab = cat.scheme("AB").unwrap();
+    /// let r = Relation::from_int_rows(ab, vec![vec![1, 10], vec![2, 20]]).unwrap();
+    /// let text = r.to_text(&cat);
+    /// assert!(text.starts_with("A B"));
+    /// ```
+    pub fn to_text(&self, catalog: &crate::attr::Catalog) -> String {
+        let headers: Vec<String> = self
+            .attrs
+            .iter()
+            .map(|&a| catalog.name(a).unwrap_or("?").to_string())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| t.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}", w = w))
+                .collect::<Vec<_>>()
+                .join(" ")
+                .trim_end()
+                .to_string()
+        };
+        out.push_str(&fmt_row(&headers));
+        for row in &rendered {
+            out.push('\n');
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation({:?}, {} tuples)", self.scheme, self.tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Catalog;
+
+    fn scheme(spec: &str) -> AttrSet {
+        Catalog::with_letters().scheme(spec).unwrap()
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(scheme("AB"));
+        assert_eq!(r.tau(), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.attrs().len(), 2);
+    }
+
+    #[test]
+    fn from_rows_dedups_and_sorts() {
+        let r = Relation::from_int_rows(
+            scheme("AB"),
+            vec![vec![2, 20], vec![1, 10], vec![2, 20]],
+        )
+        .unwrap();
+        assert_eq!(r.tau(), 2);
+        assert_eq!(r.tuples()[0].values()[0], Value::Int(1));
+        assert_eq!(r.tuples()[1].values()[0], Value::Int(2));
+    }
+
+    #[test]
+    fn from_rows_checks_arity() {
+        let err = Relation::from_int_rows(scheme("AB"), vec![vec![1]]).unwrap_err();
+        assert_eq!(err, RelationError::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let r1 = Relation::from_int_rows(scheme("A"), vec![vec![1], vec![2]]).unwrap();
+        let r2 = Relation::from_int_rows(scheme("A"), vec![vec![2], vec![1]]).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let mut cat = Catalog::with_letters();
+        let s = cat.scheme("ACE").unwrap();
+        let r = Relation::empty(s);
+        let a = cat.lookup("A").unwrap();
+        let c = cat.lookup("C").unwrap();
+        let e = cat.lookup("E").unwrap();
+        let b = cat.lookup("B").unwrap();
+        assert_eq!(r.column_of(a), Some(0));
+        assert_eq!(r.column_of(c), Some(1));
+        assert_eq!(r.column_of(e), Some(2));
+        assert_eq!(r.column_of(b), None);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let r = Relation::from_int_rows(scheme("AB"), vec![vec![1, 2], vec![3, 4]]).unwrap();
+        assert!(r.contains(&Tuple::new(vec![Value::Int(1), Value::Int(2)])));
+        assert!(!r.contains(&Tuple::new(vec![Value::Int(1), Value::Int(5)])));
+    }
+
+    #[test]
+    fn tuple_api() {
+        let t = Tuple::from(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t[0], Value::Int(1));
+        assert_eq!(t.values()[1], Value::str("x"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Root package of the `mjoin` reproduction workspace.
+//!
+//! This crate only hosts the workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The public API lives in the
+//! [`mjoin`] facade crate and the per-subsystem crates it re-exports.
+
+pub use mjoin;
