@@ -1,15 +1,36 @@
 //! The `mjoin` command-line tool. See the library crate docs for the
 //! database file format and commands.
+//!
+//! Exit codes: 0 on success, 1 on a reported error (bad input, budget
+//! exceeded, injected fault), 2 if the pipeline panicked — the
+//! `catch_unwind` boundary turns any panic into a diagnostic line instead
+//! of a raw abort.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 fn main() {
+    // MJOIN_FAIL_INJECT=site1,site2 arms failpoints before any work runs.
+    mjoin::failpoints::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match mjoin_cli::run(&args, |path| {
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
-    }) {
-        Ok(report) => print!("{report}"),
-        Err(e) => {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        mjoin_cli::run(&args, |path| {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+        })
+    }));
+    match outcome {
+        Ok(Ok(report)) => print!("{report}"),
+        Ok(Err(e)) => {
             eprintln!("{e}");
             std::process::exit(1);
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            eprintln!("mjoin: internal error: {msg}");
+            std::process::exit(2);
         }
     }
 }

@@ -31,13 +31,14 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use mjoin::{
-    analyze, optimize, Condition, Database, ExactOracle, SearchSpace,
-    Strategy, Value,
+    analyze_guarded, failpoints, optimize_database_robust, try_optimize, Budget, Condition,
+    Database, ExactOracle, Guard, SearchSpace, Strategy, Value,
 };
 use mjoin_fd::FdSet;
-use mjoin_hypergraph::DbScheme;
+use mjoin_hypergraph::{DbScheme, JoinTree};
 use mjoin_relation::{Catalog, Relation};
 
 /// A parsed input file: the database plus any declared FDs and
@@ -183,6 +184,97 @@ pub fn synthetic_oracle(input: &Input) -> Result<mjoin::SyntheticOracle, CliErro
     Ok(oracle)
 }
 
+/// Resource-governance options stripped from the command line before
+/// command dispatch.
+#[derive(Clone, Debug, Default)]
+pub struct GuardOptions {
+    /// Wall-clock deadline (`--timeout-ms N`).
+    pub timeout_ms: Option<u64>,
+    /// Optimizer memo-entry cap (`--max-memo-entries N`).
+    pub max_memo_entries: Option<u64>,
+    /// Intermediate-tuple cap (`--max-tuples N`).
+    pub max_tuples: Option<u64>,
+    /// Fault-injection sites to arm (`--fail-inject a,b`).
+    pub fail_inject: Vec<String>,
+}
+
+impl GuardOptions {
+    /// Is any budget limit set (deadline or cap)?
+    pub fn is_limited(&self) -> bool {
+        self.timeout_ms.is_some() || self.max_memo_entries.is_some() || self.max_tuples.is_some()
+    }
+
+    /// The corresponding [`Budget`].
+    pub fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.timeout_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_memo_entries {
+            b = b.with_max_memo_entries(n);
+        }
+        if let Some(n) = self.max_tuples {
+            b = b.with_max_tuples(n);
+        }
+        b
+    }
+}
+
+/// Splits `--timeout-ms`, `--max-memo-entries`, `--max-tuples` and
+/// `--fail-inject` (both `--flag value` and `--flag=value` forms) out of
+/// `args`, returning the remaining positional arguments and the parsed
+/// options.
+pub fn parse_guard_flags(args: &[String]) -> Result<(Vec<String>, GuardOptions), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut opts = GuardOptions::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let value = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>| {
+            inline.clone().or_else(|| it.next().cloned()).ok_or_else(|| {
+                CliError(format!("flag {flag} requires a value"))
+            })
+        };
+        let parse_u64 = |v: String| {
+            v.parse::<u64>()
+                .map_err(|_| CliError(format!("flag {flag}: bad number {v:?}")))
+        };
+        match flag {
+            "--timeout-ms" => opts.timeout_ms = Some(parse_u64(value(&mut it)?)?),
+            "--max-memo-entries" => opts.max_memo_entries = Some(parse_u64(value(&mut it)?)?),
+            "--max-tuples" => opts.max_tuples = Some(parse_u64(value(&mut it)?)?),
+            "--fail-inject" => {
+                for site in value(&mut it)?.split(',').filter(|s| !s.is_empty()) {
+                    if !failpoints::is_known(site) {
+                        return err(format!(
+                            "unknown fault-injection site {site:?} (known: {})",
+                            failpoints::SITES.join(", ")
+                        ));
+                    }
+                    opts.fail_inject.push(site.to_string());
+                }
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((rest, opts))
+}
+
+/// Disarms the listed failpoints when dropped, so in-process callers
+/// (tests) don't leak armed sites across invocations.
+struct ArmedSites(Vec<String>);
+
+impl Drop for ArmedSites {
+    fn drop(&mut self) {
+        for site in &self.0 {
+            failpoints::disarm(site);
+        }
+    }
+}
+
 fn parse_space(s: &str) -> Result<SearchSpace, CliError> {
     match s {
         "all" => Ok(SearchSpace::All),
@@ -203,7 +295,7 @@ pub fn run<F>(args: &[String], read: F) -> Result<String, CliError>
 where
     F: Fn(&str) -> Result<String, String>,
 {
-    let usage = "usage: mjoin <analyze|optimize|cost|conditions|compare|estimate|dot|show> <db-file> [ARGS]\n\
+    let usage = "usage: mjoin <analyze|optimize|cost|conditions|compare|estimate|dot|show> <db-file> [ARGS] [FLAGS]\n\
                  \n\
                  analyze    DB             conditions, theorems, recommended search space\n\
                  optimize   DB [SPACE]     cheapest plan (SPACE: all | linear | nocp | linear-nocp | avoid)\n\
@@ -212,13 +304,28 @@ where
                  compare    DB             every search space and heuristic side by side\n\
                  estimate   DB [SPACE]     plan from declared statistics (relation R CARD / domain A SIZE)\n\
                  dot        DB [SPACE]     best plan as a Graphviz digraph\n\
-                 show       DB             print every relation state and the join result";
+                 reduce     DB             semijoin-reduce the database (full reducer / fixpoint)\n\
+                 show       DB             print every relation state and the join result\n\
+                 \n\
+                 resource governance (any command):\n\
+                 --timeout-ms N            wall-clock deadline; optimize degrades gracefully\n\
+                 --max-memo-entries N      cap on memoized intermediate results\n\
+                 --max-tuples N            cap on intermediate tuples generated\n\
+                 --fail-inject SITE[,..]   arm deterministic fault injection (testing)";
+    let (args, gopts) = parse_guard_flags(args)?;
     let Some(command) = args.first() else {
         return err(usage);
     };
     if command == "help" || command == "--help" {
         return Ok(usage.to_string());
     }
+    let _armed = ArmedSites(gopts.fail_inject.clone());
+    for site in &gopts.fail_inject {
+        failpoints::arm(site);
+    }
+    let budget = gopts.budget();
+    let guard = Guard::new(budget);
+    let fail = |e: mjoin::MjoinError| CliError(e.to_string());
     let Some(path) = args.get(1) else {
         return err(format!("missing database file\n{usage}"));
     };
@@ -229,7 +336,7 @@ where
 
     match command.as_str() {
         "analyze" => {
-            let a = analyze(db);
+            let a = analyze_guarded(db, &guard).map_err(fail)?;
             let _ = writeln!(out, "relations: {}", db.len());
             for (i, s) in db.scheme().schemes().iter().enumerate() {
                 let _ = writeln!(
@@ -272,8 +379,10 @@ where
             }
             let safe = a.safe_search_space();
             let _ = writeln!(out, "recommended search space: {safe:?}");
-            let mut oracle = ExactOracle::new(db);
-            if let Some(plan) = optimize(&mut oracle, db.scheme().full_set(), safe) {
+            let mut oracle = ExactOracle::with_guard(db, guard.clone());
+            if let Some(plan) =
+                try_optimize(&mut oracle, db.scheme().full_set(), safe, &guard).map_err(fail)?
+            {
                 let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
             }
         }
@@ -282,17 +391,37 @@ where
                 Some(s) => parse_space(s)?,
                 None => SearchSpace::All,
             };
-            let mut oracle = ExactOracle::new(db);
-            match optimize(&mut oracle, db.scheme().full_set(), space) {
-                Some(plan) => {
-                    let _ = writeln!(out, "search space: {space:?}");
-                    let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
+            if gopts.is_limited() {
+                // Budgeted mode: the degradation ladder always answers with
+                // some valid strategy and reports which rung produced it.
+                let r = optimize_database_robust(db, space, budget, None).map_err(fail)?;
+                let _ = writeln!(out, "search space: {space:?}");
+                let _ = writeln!(
+                    out,
+                    "plan: {}",
+                    r.plan.strategy.render(db.catalog(), db.scheme())
+                );
+                if r.plan.cost == u64::MAX {
+                    let _ = writeln!(out, "τ = (not costed within budget)");
+                } else {
+                    let _ = writeln!(out, "τ = {}", r.plan.cost);
                 }
-                None => {
-                    let _ = writeln!(
-                        out,
-                        "search space {space:?} is empty for this (unconnected) scheme"
-                    );
+                let _ = writeln!(out, "degradation: {}", r.report);
+            } else {
+                let mut oracle = ExactOracle::with_guard(db, guard.clone());
+                match try_optimize(&mut oracle, db.scheme().full_set(), space, &guard)
+                    .map_err(fail)?
+                {
+                    Some(plan) => {
+                        let _ = writeln!(out, "search space: {space:?}");
+                        let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "search space {space:?} is empty for this (unconnected) scheme"
+                        );
+                    }
                 }
             }
         }
@@ -305,12 +434,15 @@ where
             if strategy.set() != db.scheme().full_set() {
                 return err("the strategy must mention every relation exactly once");
             }
-            let mut oracle = ExactOracle::new(db);
-            let cost = strategy.cost(&mut oracle);
+            let mut oracle = ExactOracle::with_guard(db, guard.clone());
+            let cost = strategy.try_cost(&mut oracle).map_err(fail)?;
             let plan = mjoin::Plan { strategy, cost };
             let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
-            let best = optimize(&mut oracle, db.scheme().full_set(), SearchSpace::All)
-                .expect("full space");
+            let Some(best) = try_optimize(&mut oracle, db.scheme().full_set(), SearchSpace::All, &guard)
+                .map_err(fail)?
+            else {
+                return err("the full search space cannot be empty");
+            };
             let _ = writeln!(
                 out,
                 "global optimum: τ = {} ({})",
@@ -328,7 +460,7 @@ where
                 None => SearchSpace::All,
             };
             let mut oracle = synthetic_oracle(&input)?;
-            match optimize(&mut oracle, db.scheme().full_set(), space) {
+            match try_optimize(&mut oracle, db.scheme().full_set(), space, &guard).map_err(fail)? {
                 Some(plan) => {
                     let _ = writeln!(out, "search space: {space:?} (synthetic cardinality model)");
                     let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
@@ -346,18 +478,23 @@ where
                 Some(sp) => parse_space(sp)?,
                 None => SearchSpace::All,
             };
-            let mut oracle = ExactOracle::new(db);
-            let Some(plan) = optimize(&mut oracle, db.scheme().full_set(), space) else {
+            let mut oracle = ExactOracle::with_guard(db, guard.clone());
+            let Some(plan) =
+                try_optimize(&mut oracle, db.scheme().full_set(), space, &guard).map_err(fail)?
+            else {
                 return err(format!("search space {space:?} is empty for this scheme"));
             };
             let _ = write!(out, "{}", plan.strategy.to_dot(db.catalog(), db.scheme()));
         }
         "compare" => {
-            let mut oracle = ExactOracle::new(db);
+            let mut oracle = ExactOracle::with_guard(db, guard.clone());
             let full = db.scheme().full_set();
-            let best = optimize(&mut oracle, full, SearchSpace::All)
-                .expect("full space")
-                .cost;
+            let Some(best) =
+                try_optimize(&mut oracle, full, SearchSpace::All, &guard).map_err(fail)?
+            else {
+                return err("the full search space cannot be empty");
+            };
+            let best = best.cost;
             let _ = writeln!(out, "{:<22} {:>8}  {:>7}  plan", "planner", "τ", "vs best");
             let mut report = |name: &str, plan: Option<mjoin::Plan>| {
                 match plan {
@@ -376,25 +513,39 @@ where
                     }
                 }
             };
-            report("exhaustive (all)", optimize(&mut oracle, full, SearchSpace::All));
-            report("linear", optimize(&mut oracle, full, SearchSpace::Linear));
-            report("no-cartesian", optimize(&mut oracle, full, SearchSpace::NoCartesian));
+            report(
+                "exhaustive (all)",
+                try_optimize(&mut oracle, full, SearchSpace::All, &guard).map_err(fail)?,
+            );
+            report(
+                "linear",
+                try_optimize(&mut oracle, full, SearchSpace::Linear, &guard).map_err(fail)?,
+            );
+            report(
+                "no-cartesian",
+                try_optimize(&mut oracle, full, SearchSpace::NoCartesian, &guard).map_err(fail)?,
+            );
             report(
                 "linear no-cartesian",
-                optimize(&mut oracle, full, SearchSpace::LinearNoCartesian),
+                try_optimize(&mut oracle, full, SearchSpace::LinearNoCartesian, &guard)
+                    .map_err(fail)?,
             );
             report(
                 "avoid-cartesian",
-                optimize(&mut oracle, full, SearchSpace::AvoidCartesian),
+                try_optimize(&mut oracle, full, SearchSpace::AvoidCartesian, &guard)
+                    .map_err(fail)?,
             );
-            report("ikkbz (tree queries)", mjoin::ikkbz(&mut oracle, full));
+            report(
+                "ikkbz (tree queries)",
+                mjoin_optimizer::try_ikkbz(&mut oracle, full, &guard).map_err(fail)?,
+            );
             report(
                 "greedy bushy",
-                Some(mjoin_optimizer::greedy_bushy(&mut oracle, full)),
+                Some(mjoin_optimizer::try_greedy_bushy(&mut oracle, full, &guard).map_err(fail)?),
             );
             report(
                 "greedy linear",
-                Some(mjoin_optimizer::greedy_linear(&mut oracle, full)),
+                Some(mjoin_optimizer::try_greedy_linear(&mut oracle, full, &guard).map_err(fail)?),
             );
             let bp = mjoin::best_bottleneck(&mut oracle, full);
             let _ = writeln!(
@@ -406,18 +557,53 @@ where
                 bp.strategy.render(db.catalog(), db.scheme())
             );
         }
+        "reduce" => {
+            let before: Vec<u64> = (0..db.len()).map(|i| db.state(i).tau()).collect();
+            let (reduced, stats) = match JoinTree::build(db.scheme()) {
+                Some(tree) => {
+                    let (reduced, stats) =
+                        mjoin_semijoin::try_full_reduce_with_stats(db, &tree, 0, &guard)
+                            .map_err(fail)?;
+                    let _ = writeln!(out, "full reducer (α-acyclic scheme, root {})", 0);
+                    (reduced, Some(stats))
+                }
+                None => {
+                    let reduced = mjoin_semijoin::try_pairwise_consistent_fixpoint(db, &guard)
+                        .map_err(fail)?;
+                    let _ = writeln!(out, "pairwise-consistency fixpoint (cyclic scheme)");
+                    (reduced, None)
+                }
+            };
+            for (i, s) in db.scheme().schemes().iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{}: {} -> {} tuples",
+                    db.catalog().render(*s),
+                    before[i],
+                    reduced.state(i).tau()
+                );
+            }
+            if let Some(stats) = stats {
+                let _ = writeln!(
+                    out,
+                    "semijoins: {}, tuples removed: {}, tuples scanned: {}",
+                    stats.semijoins, stats.tuples_removed, stats.tuples_scanned
+                );
+            }
+        }
         "show" => {
             for (i, s) in db.scheme().schemes().iter().enumerate() {
                 let _ = writeln!(out, "-- {} ({} tuples)", db.catalog().render(*s), db.state(i).tau());
                 let _ = writeln!(out, "{}", db.state(i).to_text(db.catalog()));
                 let _ = writeln!(out);
             }
-            let result = db.evaluate();
+            let mut oracle = ExactOracle::with_guard(db, guard.clone());
+            let result = oracle.try_relation(db.scheme().full_set()).map_err(fail)?;
             let _ = writeln!(out, "-- R_D = join of all relations ({} tuples)", result.tau());
             let _ = writeln!(out, "{}", result.to_text(db.catalog()));
         }
         "conditions" => {
-            let mut oracle = ExactOracle::new(db);
+            let mut oracle = ExactOracle::with_guard(db, guard.clone());
             for cond in [
                 Condition::C1,
                 Condition::C1Strict,
@@ -425,6 +611,9 @@ where
                 Condition::C3,
                 Condition::C4,
             ] {
+                if let Some(e) = oracle.tripped() {
+                    return Err(fail(e.clone()));
+                }
                 match mjoin::first_violation(&mut oracle, cond) {
                     None => {
                         let _ = writeln!(out, "{cond}: holds");
@@ -443,6 +632,9 @@ where
                         );
                     }
                 }
+            }
+            if let Some(e) = oracle.tripped() {
+                return Err(fail(e.clone()));
             }
         }
         other => return err(format!("unknown command {other:?}\n{usage}")),

@@ -1,0 +1,113 @@
+//! CLI-level robustness: every registered failpoint site is reachable
+//! through some command with `--fail-inject`, and surfaces as a clean
+//! `Err` (exit 1 in the binary) carrying the typed message — never a
+//! panic. Also covers the budget flags end to end.
+//!
+//! Failpoints and `--fail-inject` arming are process-global, so tests
+//! serialize on one mutex.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use mjoin_cli::run;
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+const DB: &str = "relation AB\n1 10\n2 20\n3 30\n\nrelation BC\n10 5\n20 6\n10 7\n";
+
+fn cli(args: &[&str]) -> Result<String, String> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run(&args, |_| Ok(DB.to_string())).map_err(|e| e.to_string())
+}
+
+/// Every registered site has a CLI command that reaches it; injecting a
+/// fault there yields a reported error naming the site, with all sites
+/// disarmed again afterwards.
+#[test]
+fn every_site_is_reachable_from_the_cli() {
+    let _serial = serialize();
+    // site → the command whose pipeline passes through it.
+    let routes: &[(&str, &[&str])] = &[
+        ("cost::materialize", &["optimize", "db"]),
+        ("relation::join", &["show", "db"]),
+        ("optimizer::dp", &["optimize", "db"]),
+        ("optimizer::greedy", &["compare", "db"]),
+        ("optimizer::ikkbz", &["compare", "db"]),
+        ("optimizer::exhaustive", &["optimize", "db", "--timeout-ms", "10000"]),
+        ("core::ladder", &["optimize", "db", "--timeout-ms", "10000"]),
+        ("semijoin::reduce", &["reduce", "db"]),
+    ];
+    let routed: Vec<&str> = routes.iter().map(|(s, _)| *s).collect();
+    for site in mjoin::failpoints::SITES {
+        assert!(routed.contains(site), "no CLI route covers site {site}");
+    }
+    for (site, base) in routes {
+        let mut args = base.to_vec();
+        args.push("--fail-inject");
+        args.push(site);
+        let err = cli(&args).expect_err(&format!("{site}: expected an injected failure"));
+        assert!(
+            err.contains(&format!("injected fault at {site}")),
+            "{site}: unexpected message: {err}"
+        );
+        assert!(
+            mjoin::failpoints::armed().is_empty(),
+            "{site}: run() must disarm on exit"
+        );
+    }
+}
+
+/// Unknown sites are rejected up front, with the valid ones listed.
+#[test]
+fn unknown_fail_inject_site_is_rejected() {
+    let _serial = serialize();
+    let err = cli(&["optimize", "db", "--fail-inject", "bogus::site"]).unwrap_err();
+    assert!(err.contains("bogus::site"), "{err}");
+    assert!(err.contains("optimizer::dp"), "must list valid sites: {err}");
+    assert!(mjoin::failpoints::armed().is_empty());
+}
+
+/// Any budget flag flips `optimize` into robust-ladder mode, which names
+/// the answering rung; `--flag=value` syntax works too.
+#[test]
+fn budget_flags_enable_the_degradation_report() {
+    let _serial = serialize();
+    let out = cli(&["optimize", "db", "--timeout-ms=10000"]).unwrap();
+    assert!(out.contains("degradation: answered by"), "{out}");
+    assert!(out.contains("τ ="), "{out}");
+}
+
+/// Without budget flags the legacy output is unchanged (exact strings the
+/// seed tests rely on), so governance is strictly opt-in.
+#[test]
+fn unbudgeted_output_is_the_legacy_format() {
+    let _serial = serialize();
+    let out = cli(&["optimize", "db"]).unwrap();
+    assert!(out.contains("search space: All"), "{out}");
+    assert!(!out.contains("degradation"), "{out}");
+}
+
+/// A budget so tight nothing can finish still produces a plan and a
+/// report — the CLI never comes back empty-handed over a valid database.
+#[test]
+fn tight_budget_still_answers() {
+    let _serial = serialize();
+    let out = cli(&["optimize", "db", "--max-memo-entries", "1", "--max-tuples", "1"]).unwrap();
+    assert!(out.contains("plan: "), "{out}");
+    assert!(out.contains("degradation: answered by"), "{out}");
+}
+
+/// The `reduce` command reports per-relation sizes and is budget-aware.
+#[test]
+fn reduce_reports_sizes_and_respects_budget() {
+    let _serial = serialize();
+    let out = cli(&["reduce", "db"]).unwrap();
+    assert!(out.contains("full reducer"), "{out}");
+    assert!(out.contains("-> "), "{out}");
+    let err = cli(&["reduce", "db", "--max-tuples", "1"]).unwrap_err();
+    assert!(err.contains("budget exceeded"), "{err}");
+}

@@ -1,8 +1,9 @@
 //! One-call façade: analyze a database against the whole paper.
 
-use mjoin_cost::{Database, ExactOracle};
+use mjoin_cost::{CardinalityOracle, Database, ExactOracle};
+use mjoin_guard::{Guard, MjoinError};
 use mjoin_hypergraph::Acyclicity;
-use mjoin_optimizer::{optimize, Plan, SearchSpace};
+use mjoin_optimizer::{try_optimize, Plan, SearchSpace};
 
 use crate::conditions::{condition_report, ConditionReport};
 use crate::theorems::{theorem1, theorem2, theorem3, TheoremReport};
@@ -44,27 +45,68 @@ impl Analysis {
 /// Runs every checker in the crate against `db` (exact cardinalities).
 ///
 /// Exponential in `|D|` — intended for the theory-scale databases the
-/// paper's examples and experiments use (`n ≲ 8`).
-pub fn analyze(db: &Database) -> Analysis {
-    let mut oracle = ExactOracle::new(db);
-    let full = db.scheme().full_set();
-    Analysis {
-        connected: db.scheme().connected(full),
-        result_nonempty: !db.evaluate().is_empty(),
-        acyclicity: db.scheme().acyclicity(),
-        conditions: condition_report(&mut oracle),
-        theorem1: theorem1(&mut oracle),
-        theorem2: theorem2(&mut oracle),
-        theorem3: theorem3(&mut oracle),
-    }
+/// paper's examples and experiments use (`n ≲ 8`). Infallible in practice
+/// (the unlimited guard cannot trip), but shares the
+/// [`analyze_guarded`] signature so callers handle one shape.
+pub fn analyze(db: &Database) -> Result<Analysis, MjoinError> {
+    analyze_guarded(db, &Guard::unlimited())
 }
 
-/// Optimizes `db` over `space` with exact cardinalities. `None` iff the
-/// space is empty for this scheme (product-free spaces over unconnected
-/// schemes).
-pub fn optimize_database(db: &Database, space: SearchSpace) -> Option<Plan> {
-    let mut oracle = ExactOracle::new(db);
-    optimize(&mut oracle, db.scheme().full_set(), space)
+/// [`analyze`] under a budget: the oracle's materializations charge
+/// `guard`, and each checker phase is separated by a trip check, so a
+/// deadline interrupts the exponential sweep between (or within) phases.
+pub fn analyze_guarded(db: &Database, guard: &Guard) -> Result<Analysis, MjoinError> {
+    let mut oracle = ExactOracle::with_guard(db, guard.clone());
+    let full = db.scheme().full_set();
+    let result_nonempty = oracle.try_tau(full)? > 0;
+    // The checkers use the infallible oracle surface (which saturates once
+    // tripped), so surface the stored trip after each phase.
+    let trip_check = |o: &ExactOracle<'_>| -> Result<(), MjoinError> {
+        match o.tripped() {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    };
+    let conditions = condition_report(&mut oracle);
+    trip_check(&oracle)?;
+    let t1 = theorem1(&mut oracle);
+    trip_check(&oracle)?;
+    let t2 = theorem2(&mut oracle);
+    trip_check(&oracle)?;
+    let t3 = theorem3(&mut oracle);
+    trip_check(&oracle)?;
+    Ok(Analysis {
+        connected: db.scheme().connected(full),
+        result_nonempty,
+        acyclicity: db.scheme().acyclicity(),
+        conditions,
+        theorem1: t1,
+        theorem2: t2,
+        theorem3: t3,
+    })
+}
+
+/// Optimizes `db` over `space` with exact cardinalities.
+///
+/// [`MjoinError::InvalidScheme`] iff the space is empty for this scheme
+/// (product-free spaces over unconnected schemes).
+pub fn optimize_database(db: &Database, space: SearchSpace) -> Result<Plan, MjoinError> {
+    optimize_database_guarded(db, space, &Guard::unlimited())
+}
+
+/// [`optimize_database`] under a budget.
+pub fn optimize_database_guarded(
+    db: &Database,
+    space: SearchSpace,
+    guard: &Guard,
+) -> Result<Plan, MjoinError> {
+    let mut oracle = ExactOracle::with_guard(db, guard.clone());
+    match try_optimize(&mut oracle, db.scheme().full_set(), space, guard)? {
+        Some(plan) => Ok(plan),
+        None => Err(MjoinError::InvalidScheme(format!(
+            "search space {space:?} is empty for this unconnected scheme"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -75,7 +117,7 @@ mod tests {
     #[test]
     fn analysis_of_example5() {
         let db = data::paper_example5();
-        let a = analyze(&db);
+        let a = analyze(&db).unwrap();
         assert!(a.connected);
         assert!(a.result_nonempty);
         assert!(a.conditions.c1 && a.conditions.c2 && !a.conditions.c3);
@@ -87,7 +129,7 @@ mod tests {
     #[test]
     fn analysis_of_example1() {
         let db = data::paper_example1();
-        let a = analyze(&db);
+        let a = analyze(&db).unwrap();
         assert!(!a.connected);
         assert!(a.conditions.c1 && !a.conditions.c2);
         assert_eq!(a.safe_search_space(), SearchSpace::All);
@@ -101,7 +143,7 @@ mod tests {
             data::paper_example4(),
             data::paper_example5(),
         ] {
-            let a = analyze(&db);
+            let a = analyze(&db).unwrap();
             let safe = optimize_database(&db, a.safe_search_space())
                 .expect("safe space is nonempty by construction");
             let best = optimize_database(&db, SearchSpace::All).expect("full space");

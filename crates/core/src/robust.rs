@@ -1,0 +1,418 @@
+//! Budgeted optimization with graceful degradation.
+//!
+//! The exact optimizers are exponential: `O(3ⁿ)` for the bushy DP,
+//! `(2n−3)!!` for exhaustive enumeration. Under a wall-clock deadline or a
+//! memory cap they cannot always finish — but an optimizer that answers
+//! "budget exceeded" with *nothing* is useless to a caller who still has a
+//! query to run. This module provides the degradation ladder:
+//!
+//! 1. **Exhaustive** — enumerate every strategy in the space (small
+//!    subsets only; the gold standard);
+//! 2. **Dp** — the space's dynamic program;
+//! 3. **Greedy** — the polynomial heuristic matching the space's shape;
+//! 4. **Fallback** — an index-order left-deep strategy, valid by
+//!    construction and computable without touching the data.
+//!
+//! Each rung gets a *slice* of the remaining budget; when a rung trips its
+//! slice, the ladder records why and climbs down. The result is always
+//! some valid strategy covering every relation, plus a
+//! [`DegradationReport`] saying which rung answered and what happened to
+//! the rungs above it.
+//!
+//! Only **budget** trips degrade. Cancellation ([`MjoinError::Cancelled`])
+//! and internal faults ([`MjoinError::Internal`], which includes injected
+//! faults) propagate immediately — degradation is for resource exhaustion,
+//! not for masking bugs or overriding the user.
+
+use std::fmt;
+use std::time::Instant;
+
+use mjoin_cost::{CardinalityOracle, Database, ExactOracle};
+use mjoin_guard::{failpoints, Budget, CancelToken, Guard, MjoinError};
+use mjoin_hypergraph::RelSet;
+use mjoin_optimizer::{
+    try_greedy_bushy, try_greedy_linear, try_optimize, Plan, SearchSpace,
+};
+use mjoin_strategy::{try_for_each_strategy, Strategy};
+
+/// Largest subset the exhaustive rung will attempt: `(2·7 − 3)!! = 10 395`
+/// strategies is instant, one more relation is 13× that.
+pub const EXHAUSTIVE_MAX_RELS: usize = 7;
+
+/// One level of the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Exhaustive enumeration of the search space.
+    Exhaustive,
+    /// The space's dynamic program.
+    Dp,
+    /// The greedy heuristic.
+    Greedy,
+    /// Index-order left-deep strategy, built without touching the data.
+    Fallback,
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rung::Exhaustive => "exhaustive",
+            Rung::Dp => "dp",
+            Rung::Greedy => "greedy",
+            Rung::Fallback => "fallback",
+        })
+    }
+}
+
+/// What happened to one rung that did *not* answer.
+#[derive(Clone, Debug)]
+pub struct RungAttempt {
+    /// The rung that was tried (or skipped).
+    pub rung: Rung,
+    /// Why it didn't answer — a budget error, an empty search space, or a
+    /// skip note.
+    pub outcome: String,
+}
+
+/// Which rung answered, and why the ones above it didn't.
+#[derive(Clone, Debug)]
+pub struct DegradationReport {
+    /// The rung that produced the returned plan.
+    pub answered_by: Rung,
+    /// The rungs that failed or were skipped, in descending order.
+    pub attempts: Vec<RungAttempt>,
+    /// True when the plan is guaranteed τ-optimal within the requested
+    /// space (the exhaustive or DP rung answered).
+    pub optimal: bool,
+    /// True when the plan is only guaranteed *valid* (covers every
+    /// relation) but may leave the requested search space — the fallback
+    /// rung ignores space restrictions, which can be unsatisfiable
+    /// (product-free spaces over unconnected schemes).
+    pub space_relaxed: bool,
+}
+
+impl DegradationReport {
+    fn clean(rung: Rung, attempts: Vec<RungAttempt>) -> Self {
+        DegradationReport {
+            answered_by: rung,
+            attempts,
+            optimal: matches!(rung, Rung::Exhaustive | Rung::Dp),
+            space_relaxed: matches!(rung, Rung::Fallback),
+        }
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "answered by {} rung", self.answered_by)?;
+        if self.optimal {
+            write!(f, " (optimal in space)")?;
+        } else if self.space_relaxed {
+            write!(f, " (valid, space restriction relaxed)")?;
+        } else {
+            write!(f, " (heuristic)")?;
+        }
+        for a in &self.attempts {
+            write!(f, "; {} rung: {}", a.rung, a.outcome)?;
+        }
+        Ok(())
+    }
+}
+
+/// A plan that survived the ladder, with the story of how it was obtained.
+#[derive(Clone, Debug)]
+pub struct RobustPlan {
+    /// The chosen strategy and its cost. The cost is `u64::MAX` when even
+    /// *costing* the fallback strategy exceeded the remaining budget — the
+    /// strategy itself is still valid.
+    pub plan: Plan,
+    /// Which rung answered and why the ones above it didn't.
+    pub report: DegradationReport,
+}
+
+/// Budget fractions: the exhaustive rung may use ¼ of the remaining
+/// deadline, the DP rung ½ of what's left after that, greedy everything
+/// that remains. Caps (memo entries, tuples) are per-rung.
+fn rung_budget(total: &Budget, started: Instant, numer: u32, denom: u32) -> Option<Budget> {
+    match total.deadline {
+        None => Some(*total),
+        Some(d) => {
+            let rem = d.checked_sub(started.elapsed())?;
+            if rem.is_zero() {
+                return None;
+            }
+            Some(total.with_deadline(rem * numer / denom))
+        }
+    }
+}
+
+fn rung_guard(budget: Budget, cancel: Option<&CancelToken>) -> Guard {
+    match cancel {
+        Some(c) => Guard::with_cancel(budget, c.clone()),
+        None => Guard::new(budget),
+    }
+}
+
+/// Does `strategy` belong to `space`?
+fn in_space(s: &Strategy, space: SearchSpace, scheme: &mjoin_hypergraph::DbScheme) -> bool {
+    match space {
+        SearchSpace::All => true,
+        SearchSpace::Linear => s.is_linear(),
+        SearchSpace::NoCartesian => !s.uses_cartesian(scheme),
+        SearchSpace::LinearNoCartesian => s.is_linear() && !s.uses_cartesian(scheme),
+        SearchSpace::AvoidCartesian => s.avoids_cartesian(scheme),
+    }
+}
+
+/// Budget trips degrade; everything else propagates.
+fn degradable(e: &MjoinError) -> bool {
+    matches!(e, MjoinError::BudgetExceeded { .. })
+}
+
+/// The degradation ladder over an [`ExactOracle`].
+///
+/// Always returns a valid strategy covering `subset` (wrapped in a
+/// [`RobustPlan`] naming the rung that produced it) unless the input
+/// itself is invalid, the caller cancelled, or a fault was injected.
+pub fn optimize_robust(
+    db: &Database,
+    subset: RelSet,
+    space: SearchSpace,
+    budget: Budget,
+    cancel: Option<&CancelToken>,
+) -> Result<RobustPlan, MjoinError> {
+    failpoints::hit("core::ladder")?;
+    if subset.is_empty() {
+        return Err(MjoinError::InvalidScheme(
+            "cannot optimize the empty database".into(),
+        ));
+    }
+    let started = Instant::now();
+    let mut attempts: Vec<RungAttempt> = Vec::new();
+    let mut oracle = ExactOracle::new(db);
+    let scheme = db.scheme().clone();
+
+    // Rung 1: exhaustive enumeration (small subsets only).
+    if subset.len() > EXHAUSTIVE_MAX_RELS {
+        attempts.push(RungAttempt {
+            rung: Rung::Exhaustive,
+            outcome: format!(
+                "skipped: {} relations exceed the {}-relation enumeration cutoff",
+                subset.len(),
+                EXHAUSTIVE_MAX_RELS
+            ),
+        });
+    } else {
+        match rung_budget(&budget, started, 1, 4) {
+            None => attempts.push(RungAttempt {
+                rung: Rung::Exhaustive,
+                outcome: "skipped: deadline already exhausted".into(),
+            }),
+            Some(b) => {
+                let guard = rung_guard(b, cancel);
+                oracle.rearm(guard.clone());
+                match exhaustive_rung(&mut oracle, subset, space, &guard) {
+                    Ok(Some(plan)) => {
+                        return Ok(RobustPlan {
+                            plan,
+                            report: DegradationReport::clean(Rung::Exhaustive, attempts),
+                        })
+                    }
+                    Ok(None) => attempts.push(RungAttempt {
+                        rung: Rung::Exhaustive,
+                        outcome: format!("search space {space:?} is empty for this scheme"),
+                    }),
+                    Err(e) if degradable(&e) => attempts.push(RungAttempt {
+                        rung: Rung::Exhaustive,
+                        outcome: e.to_string(),
+                    }),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    // Rung 2: the space's DP.
+    match rung_budget(&budget, started, 1, 2) {
+        None => attempts.push(RungAttempt {
+            rung: Rung::Dp,
+            outcome: "skipped: deadline already exhausted".into(),
+        }),
+        Some(b) => {
+            let guard = rung_guard(b, cancel);
+            oracle.rearm(guard.clone());
+            match try_optimize(&mut oracle, subset, space, &guard) {
+                Ok(Some(plan)) => {
+                    return Ok(RobustPlan {
+                        plan,
+                        report: DegradationReport::clean(Rung::Dp, attempts),
+                    })
+                }
+                Ok(None) => attempts.push(RungAttempt {
+                    rung: Rung::Dp,
+                    outcome: format!("search space {space:?} is empty for this scheme"),
+                }),
+                Err(e) if degradable(&e) => attempts.push(RungAttempt {
+                    rung: Rung::Dp,
+                    outcome: e.to_string(),
+                }),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Rung 3: greedy, shaped to the space (linear spaces get the linear
+    // heuristic). Note the greedy result may use products even in
+    // product-free spaces — degradation relaxes optimality first, space
+    // membership second.
+    let linear_space = matches!(
+        space,
+        SearchSpace::Linear | SearchSpace::LinearNoCartesian
+    );
+    match rung_budget(&budget, started, 1, 1) {
+        None => attempts.push(RungAttempt {
+            rung: Rung::Greedy,
+            outcome: "skipped: deadline already exhausted".into(),
+        }),
+        Some(b) => {
+            let guard = rung_guard(b, cancel);
+            oracle.rearm(guard.clone());
+            let result = if linear_space {
+                try_greedy_linear(&mut oracle, subset, &guard)
+            } else {
+                try_greedy_bushy(&mut oracle, subset, &guard)
+            };
+            match result {
+                Ok(plan) => {
+                    let relaxed = !in_space(&plan.strategy, space, &scheme);
+                    let mut report = DegradationReport::clean(Rung::Greedy, attempts);
+                    report.space_relaxed = relaxed;
+                    return Ok(RobustPlan { plan, report });
+                }
+                Err(e) if degradable(&e) => attempts.push(RungAttempt {
+                    rung: Rung::Greedy,
+                    outcome: e.to_string(),
+                }),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Rung 4: index-order left-deep — valid by construction, no data
+    // access. Costing it is best-effort under whatever budget remains.
+    let order: Vec<usize> = subset.iter().collect();
+    let strategy = Strategy::left_deep(&order);
+    let cost = match rung_budget(&budget, started, 1, 1) {
+        None => u64::MAX,
+        Some(b) => {
+            let guard = rung_guard(b, cancel);
+            oracle.rearm(guard.clone());
+            strategy.try_cost(&mut oracle).unwrap_or(u64::MAX)
+        }
+    };
+    Ok(RobustPlan {
+        plan: Plan { strategy, cost },
+        report: DegradationReport::clean(Rung::Fallback, attempts),
+    })
+}
+
+/// Enumerates every strategy in the space, keeping the cheapest.
+fn exhaustive_rung(
+    oracle: &mut ExactOracle<'_>,
+    subset: RelSet,
+    space: SearchSpace,
+    guard: &Guard,
+) -> Result<Option<Plan>, MjoinError> {
+    failpoints::hit("optimizer::exhaustive")?;
+    let scheme = oracle.scheme().clone();
+    let mut best: Option<Plan> = None;
+    try_for_each_strategy(subset, guard, &mut |s: &Strategy| {
+        if !in_space(s, space, &scheme) {
+            return Ok(());
+        }
+        let cost = s.try_cost(&mut *oracle)?;
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(Plan {
+                strategy: s.clone(),
+                cost,
+            });
+        }
+        Ok(())
+    })?;
+    Ok(best)
+}
+
+/// [`optimize_robust`] over a whole database.
+pub fn optimize_database_robust(
+    db: &Database,
+    space: SearchSpace,
+    budget: Budget,
+    cancel: Option<&CancelToken>,
+) -> Result<RobustPlan, MjoinError> {
+    optimize_robust(db, db.scheme().full_set(), space, budget, cancel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_gen::data;
+
+    #[test]
+    fn unlimited_ladder_answers_at_the_top() {
+        let db = data::paper_example4();
+        let r = optimize_database_robust(&db, SearchSpace::All, Budget::unlimited(), None)
+            .unwrap();
+        assert_eq!(r.report.answered_by, Rung::Exhaustive);
+        assert!(r.report.optimal);
+        assert_eq!(r.plan.cost, 11);
+    }
+
+    #[test]
+    fn ladder_matches_plain_dp() {
+        let db = data::paper_example5();
+        let robust =
+            optimize_database_robust(&db, SearchSpace::NoCartesian, Budget::unlimited(), None)
+                .unwrap();
+        let plain = crate::optimize_database(&db, SearchSpace::NoCartesian).unwrap();
+        assert_eq!(robust.plan.cost, plain.cost);
+    }
+
+    #[test]
+    fn cancelled_ladder_propagates() {
+        let db = data::paper_example5();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = optimize_database_robust(&db, SearchSpace::All, Budget::unlimited(), Some(&token))
+            .unwrap_err();
+        assert_eq!(err, MjoinError::Cancelled);
+    }
+
+    #[test]
+    fn memo_cap_degrades_not_fails() {
+        let db = data::paper_example5();
+        let budget = Budget::unlimited().with_max_memo_entries(1);
+        let r = optimize_database_robust(&db, SearchSpace::All, budget, None).unwrap();
+        // The exhaustive and DP rungs can't run on one memo entry; some
+        // lower rung must still answer with a valid covering strategy.
+        assert!(r.report.answered_by > Rung::Dp, "{}", r.report);
+        assert_eq!(r.plan.strategy.set(), db.scheme().full_set());
+        assert!(r.plan.strategy.validate(db.scheme()));
+        assert!(!r.report.attempts.is_empty());
+    }
+
+    #[test]
+    fn ladder_failpoint_propagates() {
+        let db = data::paper_example4();
+        let _fp = failpoints::ScopedFailpoint::arm("core::ladder");
+        let err = optimize_database_robust(&db, SearchSpace::All, Budget::unlimited(), None)
+            .unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+    }
+
+    #[test]
+    fn report_display_names_the_rung() {
+        let db = data::paper_example4();
+        let r = optimize_database_robust(&db, SearchSpace::All, Budget::unlimited(), None)
+            .unwrap();
+        assert!(r.report.to_string().contains("exhaustive"));
+    }
+}

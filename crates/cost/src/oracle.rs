@@ -2,8 +2,9 @@
 
 use std::collections::HashMap;
 
+use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::{DbScheme, RelSet};
-use mjoin_relation::Relation;
+use mjoin_relation::{JoinAlgorithm, Relation};
 
 use crate::database::Database;
 
@@ -33,6 +34,19 @@ pub trait CardinalityOracle {
     fn result_is_empty(&mut self) -> bool {
         self.tau(self.scheme().full_set()) == 0
     }
+
+    /// Budget-aware [`tau`](Self::tau): oracles backed by real work (the
+    /// exact oracle's materialization) report budget exhaustion here
+    /// instead of panicking. Closed-form oracles use the default.
+    fn try_tau(&mut self, subset: RelSet) -> Result<u64, MjoinError> {
+        Ok(self.tau(subset))
+    }
+
+    /// Budget-aware [`tau_join`](Self::tau_join).
+    fn try_tau_join(&mut self, d1: RelSet, d2: RelSet) -> Result<u64, MjoinError> {
+        debug_assert!(d1.is_disjoint(d2));
+        self.try_tau(d1.union(d2))
+    }
 }
 
 /// Exact oracle: materializes intermediate joins, memoized per subset.
@@ -43,15 +57,28 @@ pub struct ExactOracle<'a> {
     db: &'a Database,
     memo_enabled: bool,
     memo: HashMap<RelSet, Relation>,
+    guard: Guard,
+    /// First budget/cancel/fault error observed; once set, fallible paths
+    /// keep returning it and infallible paths saturate (`τ = u64::MAX`)
+    /// instead of panicking.
+    tripped: Option<MjoinError>,
 }
 
 impl<'a> ExactOracle<'a> {
     /// A memoizing exact oracle over `db`.
     pub fn new(db: &'a Database) -> Self {
+        ExactOracle::with_guard(db, Guard::unlimited())
+    }
+
+    /// A memoizing exact oracle whose materialization work (joins and memo
+    /// growth) is charged to `guard`.
+    pub fn with_guard(db: &'a Database, guard: Guard) -> Self {
         ExactOracle {
             db,
             memo_enabled: true,
             memo: HashMap::new(),
+            guard,
+            tripped: None,
         }
     }
 
@@ -62,6 +89,8 @@ impl<'a> ExactOracle<'a> {
             db,
             memo_enabled: false,
             memo: HashMap::new(),
+            guard: Guard::unlimited(),
+            tripped: None,
         }
     }
 
@@ -70,25 +99,83 @@ impl<'a> ExactOracle<'a> {
         self.db
     }
 
+    /// The guard charged by this oracle.
+    pub fn guard(&self) -> &Guard {
+        &self.guard
+    }
+
+    /// The first budget/cancel/fault error the oracle hit, if any. While
+    /// set, [`tau`](CardinalityOracle::tau) saturates to `u64::MAX`.
+    pub fn tripped(&self) -> Option<&MjoinError> {
+        self.tripped.as_ref()
+    }
+
+    /// Swaps in a fresh guard and clears the trip state, keeping the memo.
+    /// Degradation ladders use this to give each fallback stage its own
+    /// slice of the budget without re-materializing what earlier stages
+    /// already paid for.
+    pub fn rearm(&mut self, guard: Guard) {
+        self.guard = guard;
+        self.tripped = None;
+    }
+
     /// The materialized relation `R_{D′}` (memoized).
+    ///
+    /// Legacy infallible surface: panics if the guard trips mid-call, so
+    /// only use it with an unlimited guard — budget-aware callers use
+    /// [`try_relation`](Self::try_relation).
     pub fn relation(&mut self, subset: RelSet) -> Relation {
-        assert!(!subset.is_empty(), "τ is defined for nonempty subsets");
+        self.try_relation(subset)
+            .expect("materialization failed under an unlimited guard")
+    }
+
+    /// The materialized relation `R_{D′}` (memoized), with all join output
+    /// and memo growth charged to the oracle's guard.
+    pub fn try_relation(&mut self, subset: RelSet) -> Result<Relation, MjoinError> {
+        if let Some(e) = &self.tripped {
+            return Err(e.clone());
+        }
+        match self.try_relation_inner(subset) {
+            Ok(r) => Ok(r),
+            // Caller errors don't poison the oracle; resource/fault errors
+            // do (the same limit would trip again on the next call).
+            Err(e @ MjoinError::InvalidScheme(_)) => Err(e),
+            Err(e) => {
+                self.tripped = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn try_relation_inner(&mut self, subset: RelSet) -> Result<Relation, MjoinError> {
+        if subset.is_empty() {
+            return Err(MjoinError::InvalidScheme(
+                "τ is defined for nonempty subsets".into(),
+            ));
+        }
+        failpoints::hit("cost::materialize")?;
         if let Some(r) = self.memo.get(&subset) {
-            return r.clone();
+            return Ok(r.clone());
         }
         let result = if subset.is_singleton() {
-            self.db.state(subset.first().expect("nonempty")).clone()
+            let Some(lowest) = subset.first() else {
+                return Err(MjoinError::Internal("singleton with no member".into()));
+            };
+            self.db.state(lowest).clone()
         } else {
             // Split off the lowest member; reuse the memoized rest.
-            let lowest = subset.first().expect("nonempty");
+            let Some(lowest) = subset.first() else {
+                return Err(MjoinError::Internal("nonempty subset with no member".into()));
+            };
             let rest = subset.difference(RelSet::singleton(lowest));
-            let rest_rel = self.relation(rest);
-            rest_rel.natural_join(self.db.state(lowest))
+            let rest_rel = self.try_relation_inner(rest)?;
+            rest_rel.natural_join_guarded(self.db.state(lowest), JoinAlgorithm::Hash, &self.guard)?
         };
         if self.memo_enabled {
+            self.guard.charge_memo(1)?;
             self.memo.insert(subset, result.clone());
         }
-        result
+        Ok(result)
     }
 
     /// Number of memoized intermediates (for tests/benches).
@@ -102,8 +189,20 @@ impl CardinalityOracle for ExactOracle<'_> {
         self.db.scheme()
     }
 
+    /// Exact `τ`. On a tripped (budget-exhausted) oracle this saturates to
+    /// `u64::MAX` — "unaffordably large" — so legacy callers degrade
+    /// instead of panicking; check [`tripped`](ExactOracle::tripped) or use
+    /// [`try_tau`](CardinalityOracle::try_tau) to observe the error.
     fn tau(&mut self, subset: RelSet) -> u64 {
-        self.relation(subset).tau()
+        match self.try_relation(subset) {
+            Ok(r) => r.tau(),
+            Err(MjoinError::InvalidScheme(msg)) => panic!("{msg}"),
+            Err(_) => u64::MAX,
+        }
+    }
+
+    fn try_tau(&mut self, subset: RelSet) -> Result<u64, MjoinError> {
+        self.try_relation(subset).map(|r| r.tau())
     }
 }
 
@@ -137,17 +236,40 @@ impl SyntheticOracle {
     ///
     /// # Panics
     /// Panics if `base.len() != scheme.len()`, any base cardinality is 0, or
-    /// `default_domain == 0`.
+    /// `default_domain == 0` — use [`try_new`](Self::try_new) to get a
+    /// typed error instead.
     pub fn new(scheme: DbScheme, base: Vec<u64>, default_domain: u64) -> Self {
-        assert_eq!(scheme.len(), base.len(), "one cardinality per relation");
-        assert!(base.iter().all(|&b| b > 0), "base cardinalities must be ≥ 1");
-        assert!(default_domain > 0, "domains must be ≥ 1");
-        SyntheticOracle {
+        Self::try_new(scheme, base, default_domain)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new) with typed validation errors instead of panics.
+    pub fn try_new(
+        scheme: DbScheme,
+        base: Vec<u64>,
+        default_domain: u64,
+    ) -> Result<Self, MjoinError> {
+        if scheme.len() != base.len() {
+            return Err(MjoinError::InvalidScheme(format!(
+                "one cardinality per relation: got {} for {} relations",
+                base.len(),
+                scheme.len()
+            )));
+        }
+        if !base.iter().all(|&b| b > 0) {
+            return Err(MjoinError::InvalidScheme(
+                "base cardinalities must be ≥ 1".into(),
+            ));
+        }
+        if default_domain == 0 {
+            return Err(MjoinError::InvalidScheme("domains must be ≥ 1".into()));
+        }
+        Ok(SyntheticOracle {
             scheme,
             base,
             domains: HashMap::new(),
             default_domain,
-        }
+        })
     }
 
     /// Overrides the domain size of one attribute.
@@ -174,7 +296,9 @@ impl SyntheticOracle {
             let mut values: Vec<mjoin_relation::Value> = Vec::new();
             for (i, r) in db.states().iter().enumerate() {
                 if scheme.scheme(i).contains(a) {
-                    let col = r.column_of(a).expect("attr in scheme");
+                    // A state whose columns disagree with the scheme is a
+                    // caller bug; skip it rather than abort the estimator.
+                    let Some(col) = r.column_of(a) else { continue };
                     values.extend(r.column_values(col));
                 }
             }

@@ -5,10 +5,16 @@
 //! subset `D′` — so Bellman's principle applies directly: the cheapest
 //! strategy for `D` is `τ(R_D)` plus the cheapest pair of sub-strategies
 //! over some partition `D = D₁ ⊎ D₂`. Each search space below is one DP.
+//!
+//! Every DP exists in two surfaces: a guarded `try_*` entry point that
+//! threads a [`Guard`] through its hot loops (checkpointing each recursion,
+//! charging every memo insert, and propagating oracle budget errors), and
+//! the legacy infallible wrapper running under [`Guard::unlimited`].
 
 use std::collections::HashMap;
 
 use mjoin_cost::CardinalityOracle;
+use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::RelSet;
 use mjoin_strategy::Strategy;
 
@@ -38,38 +44,54 @@ pub enum DpAlgorithm {
 
 /// Cheapest strategy over the full space (bushy, products allowed).
 pub fn best_bushy<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Plan {
+    try_best_bushy(oracle, subset, &Guard::unlimited())
+        .expect("unlimited-guard DP cannot fail")
+}
+
+/// [`best_bushy`] under a budget: `O(3ⁿ)` recursion with a checkpoint per
+/// subproblem and every memo entry charged to `guard`.
+pub fn try_best_bushy<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    guard: &Guard,
+) -> Result<Plan, MjoinError> {
+    failpoints::hit("optimizer::dp")?;
     let mut memo: SplitMemo = HashMap::new();
-    let cost = bushy_rec(oracle, subset, &mut memo);
-    Plan {
-        strategy: rebuild(subset, &memo),
+    let cost = bushy_rec(oracle, subset, &mut memo, guard)?;
+    Ok(Plan {
+        strategy: try_rebuild(subset, &memo)?,
         cost,
-    }
+    })
 }
 
 fn bushy_rec<O: CardinalityOracle>(
     oracle: &mut O,
     s: RelSet,
     memo: &mut SplitMemo,
-) -> u64 {
+    guard: &Guard,
+) -> Result<u64, MjoinError> {
     if s.is_singleton() {
-        return 0;
+        return Ok(0);
     }
     if let Some(&(c, _)) = memo.get(&s) {
-        return c;
+        return Ok(c);
     }
-    let own = oracle.tau(s);
+    guard.checkpoint()?;
+    let own = oracle.try_tau(s)?;
     let mut best = u64::MAX;
     let mut best_split = None;
     for (s1, s2) in s.proper_splits() {
-        let c = bushy_rec(oracle, s1, memo).saturating_add(bushy_rec(oracle, s2, memo));
+        let c = bushy_rec(oracle, s1, memo, guard)?
+            .saturating_add(bushy_rec(oracle, s2, memo, guard)?);
         if c < best {
             best = c;
             best_split = Some((s1, s2));
         }
     }
     let total = own.saturating_add(best);
+    guard.charge_memo(1)?;
     memo.insert(s, (total, best_split));
-    total
+    Ok(total)
 }
 
 /// Cheapest *linear* strategy; with `no_cartesian`, every step must join
@@ -79,30 +101,53 @@ pub fn best_linear<O: CardinalityOracle>(
     subset: RelSet,
     no_cartesian: bool,
 ) -> Plan {
+    try_best_linear(oracle, subset, no_cartesian, &Guard::unlimited())
+        .expect("unlimited-guard DP cannot fail")
+}
+
+/// [`best_linear`] under a budget (prefix-set DP, `O(2ⁿ·n)`).
+pub fn try_best_linear<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    no_cartesian: bool,
+    guard: &Guard,
+) -> Result<Plan, MjoinError> {
+    failpoints::hit("optimizer::dp")?;
     // memo: prefix set → (cost, last relation added), cost = u64::MAX if
     // the prefix is unreachable under the no-product constraint.
     let mut memo: HashMap<RelSet, (u64, Option<usize>)> = HashMap::new();
-    let cost = linear_rec(oracle, subset, no_cartesian, &mut memo);
-    assert_ne!(
-        cost,
-        u64::MAX,
-        "a connected subset always admits a product-free linear order"
-    );
+    let cost = linear_rec(oracle, subset, no_cartesian, &mut memo, guard)?;
+    if cost == u64::MAX {
+        return Err(MjoinError::Internal(
+            "a connected subset always admits a product-free linear order".into(),
+        ));
+    }
     // Reconstruct the order back-to-front.
     let mut order = Vec::with_capacity(subset.len());
     let mut s = subset;
     while !s.is_singleton() {
-        let (_, last) = memo[&s];
-        let last = last.expect("non-singleton prefixes record their last step");
+        let Some(&(_, last)) = memo.get(&s) else {
+            return Err(MjoinError::Internal(format!(
+                "linear DP memo lost prefix {s:?} during rebuild"
+            )));
+        };
+        let Some(last) = last else {
+            return Err(MjoinError::Internal(
+                "non-singleton prefixes must record their last step".into(),
+            ));
+        };
         order.push(last);
         s.remove(last);
     }
-    order.push(s.first().expect("singleton remains"));
+    let Some(first) = s.first() else {
+        return Err(MjoinError::Internal("empty prefix during rebuild".into()));
+    };
+    order.push(first);
     order.reverse();
-    Plan {
+    Ok(Plan {
         strategy: Strategy::left_deep(&order),
         cost,
-    }
+    })
 }
 
 fn linear_rec<O: CardinalityOracle>(
@@ -110,14 +155,16 @@ fn linear_rec<O: CardinalityOracle>(
     s: RelSet,
     no_cartesian: bool,
     memo: &mut HashMap<RelSet, (u64, Option<usize>)>,
-) -> u64 {
+    guard: &Guard,
+) -> Result<u64, MjoinError> {
     if s.is_singleton() {
-        return 0;
+        return Ok(0);
     }
     if let Some(&(c, _)) = memo.get(&s) {
-        return c;
+        return Ok(c);
     }
-    let own = oracle.tau(s);
+    guard.checkpoint()?;
+    let own = oracle.try_tau(s)?;
     let mut best = u64::MAX;
     let mut best_last = None;
     for last in s.iter() {
@@ -132,7 +179,7 @@ fn linear_rec<O: CardinalityOracle>(
         {
             continue;
         }
-        let c = linear_rec(oracle, rest, no_cartesian, memo);
+        let c = linear_rec(oracle, rest, no_cartesian, memo, guard)?;
         if c < best {
             best = c;
             best_last = Some(last);
@@ -143,8 +190,9 @@ fn linear_rec<O: CardinalityOracle>(
     } else {
         own.saturating_add(best)
     };
+    guard.charge_memo(1)?;
     memo.insert(s, (total, best_last));
-    total
+    Ok(total)
 }
 
 /// Cheapest product-free strategy; `None` iff `subset` is unconnected.
@@ -153,31 +201,51 @@ pub fn best_no_cartesian<O: CardinalityOracle>(
     subset: RelSet,
     algorithm: DpAlgorithm,
 ) -> Option<Plan> {
+    try_best_no_cartesian(oracle, subset, algorithm, &Guard::unlimited())
+        .expect("unlimited-guard DP cannot fail")
+}
+
+/// [`best_no_cartesian`] under a budget.
+pub fn try_best_no_cartesian<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    algorithm: DpAlgorithm,
+    guard: &Guard,
+) -> Result<Option<Plan>, MjoinError> {
+    failpoints::hit("optimizer::dp")?;
     if !oracle.scheme().connected(subset) {
-        return None;
+        return Ok(None);
     }
     match algorithm {
         DpAlgorithm::DpSub => {
             let mut memo = HashMap::new();
-            let cost = nocp_rec(oracle, subset, &mut memo)?;
-            Some(Plan {
-                strategy: rebuild(subset, &memo),
+            let Some(cost) = nocp_rec(oracle, subset, &mut memo, guard)? else {
+                return Ok(None);
+            };
+            Ok(Some(Plan {
+                strategy: try_rebuild(subset, &memo)?,
                 cost,
-            })
+            }))
         }
-        DpAlgorithm::DpSize => nocp_dpsize(oracle, subset),
-        DpAlgorithm::DpCcp => nocp_dpccp(oracle, subset),
+        DpAlgorithm::DpSize => nocp_dpsize(oracle, subset, guard),
+        DpAlgorithm::DpCcp => nocp_dpccp(oracle, subset, guard),
     }
 }
 
-fn nocp_dpccp<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<Plan> {
+fn nocp_dpccp<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    guard: &Guard,
+) -> Result<Option<Plan>, MjoinError> {
     // Connected subsets in ascending bit-pattern order; processing by
     // increasing size guarantees sub-plans exist before they're combined.
     let mut connected = oracle.scheme().connected_subsets(subset);
     connected.sort_by_key(|s| s.len());
     let mut table: SplitMemo = HashMap::new();
     for &s in &connected {
+        guard.checkpoint()?;
         if s.is_singleton() {
+            guard.charge_memo(1)?;
             table.insert(s, (0, None));
             continue;
         }
@@ -185,10 +253,14 @@ fn nocp_dpccp<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<Pl
         // halves, each enumerated once (the half containing min(s) is the
         // canonical csg). Enumerate connected subsets of s containing
         // min(s) by restricting the enumeration to s itself.
-        let lowest = RelSet::singleton(s.first().expect("nonempty"));
+        let Some(first) = s.first() else {
+            return Err(MjoinError::Internal("connected subset is empty".into()));
+        };
+        let lowest = RelSet::singleton(first);
         let mut best = u64::MAX;
         let mut best_split = None;
         for s1 in oracle.scheme().connected_subsets(s) {
+            guard.checkpoint()?;
             if s1 == s || !lowest.is_subset_of(s1) {
                 continue;
             }
@@ -206,28 +278,33 @@ fn nocp_dpccp<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<Pl
             }
         }
         if let Some(split) = best_split {
-            let total = oracle.tau(s).saturating_add(best);
+            let total = oracle.try_tau(s)?.saturating_add(best);
+            guard.charge_memo(1)?;
             table.insert(s, (total, Some(split)));
         }
     }
-    let &(cost, _) = table.get(&subset)?;
-    Some(Plan {
-        strategy: rebuild(subset, &table),
+    let Some(&(cost, _)) = table.get(&subset) else {
+        return Ok(None);
+    };
+    Ok(Some(Plan {
+        strategy: try_rebuild(subset, &table)?,
         cost,
-    })
+    }))
 }
 
 fn nocp_rec<O: CardinalityOracle>(
     oracle: &mut O,
     s: RelSet,
     memo: &mut SplitMemo,
-) -> Option<u64> {
+    guard: &Guard,
+) -> Result<Option<u64>, MjoinError> {
     if s.is_singleton() {
-        return Some(0);
+        return Ok(Some(0));
     }
     if let Some(&(c, _)) = memo.get(&s) {
-        return if c == u64::MAX { None } else { Some(c) };
+        return Ok(if c == u64::MAX { None } else { Some(c) });
     }
+    guard.checkpoint()?;
     let mut best = u64::MAX;
     let mut best_split = None;
     // Product-free strategies only ever produce connected node sets, so
@@ -239,8 +316,10 @@ fn nocp_rec<O: CardinalityOracle>(
         {
             continue;
         }
-        let (Some(c1), Some(c2)) = (nocp_rec(oracle, s1, memo), nocp_rec(oracle, s2, memo))
-        else {
+        let (Some(c1), Some(c2)) = (
+            nocp_rec(oracle, s1, memo, guard)?,
+            nocp_rec(oracle, s2, memo, guard)?,
+        ) else {
             continue;
         };
         let c = c1.saturating_add(c2);
@@ -249,17 +328,22 @@ fn nocp_rec<O: CardinalityOracle>(
             best_split = Some((s1, s2));
         }
     }
+    guard.charge_memo(1)?;
     if best == u64::MAX {
         memo.insert(s, (u64::MAX, None));
-        None
+        Ok(None)
     } else {
-        let total = oracle.tau(s).saturating_add(best);
+        let total = oracle.try_tau(s)?.saturating_add(best);
         memo.insert(s, (total, best_split));
-        Some(total)
+        Ok(Some(total))
     }
 }
 
-fn nocp_dpsize<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<Plan> {
+fn nocp_dpsize<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    guard: &Guard,
+) -> Result<Option<Plan>, MjoinError> {
     // Group the connected subsets of `subset` by size.
     let connected = oracle.scheme().connected_subsets(subset);
     let n = subset.len();
@@ -269,6 +353,7 @@ fn nocp_dpsize<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<P
     }
     let mut table: SplitMemo = HashMap::new();
     for &s in &by_size[1] {
+        guard.charge_memo(1)?;
         table.insert(s, (0, None));
     }
     for size in 2..=n {
@@ -276,6 +361,7 @@ fn nocp_dpsize<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<P
             let b = size - a;
             for i in 0..by_size[a].len() {
                 let s1 = by_size[a][i];
+                guard.checkpoint()?;
                 for &s2 in &by_size[b] {
                     if a == b && s2.0 <= s1.0 {
                         continue; // each unordered pair once
@@ -288,12 +374,13 @@ fn nocp_dpsize<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<P
                         continue;
                     };
                     let u = s1.union(s2);
-                    let cost = oracle.tau(u).saturating_add(c1).saturating_add(c2);
+                    let cost = oracle.try_tau(u)?.saturating_add(c1).saturating_add(c2);
                     // Insert even when the (saturating) cost ties u64::MAX:
                     // every reachable subset must record some split or
                     // plan reconstruction has nothing to follow.
                     match table.entry(u) {
                         std::collections::hash_map::Entry::Vacant(e) => {
+                            guard.charge_memo(1)?;
                             e.insert((cost, Some((s1, s2))));
                         }
                         std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -306,11 +393,13 @@ fn nocp_dpsize<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<P
             }
         }
     }
-    let &(cost, _) = table.get(&subset)?;
-    Some(Plan {
-        strategy: rebuild(subset, &table),
+    let Some(&(cost, _)) = table.get(&subset) else {
+        return Ok(None);
+    };
+    Ok(Some(Plan {
+        strategy: try_rebuild(subset, &table)?,
         cost,
-    })
+    }))
 }
 
 /// Cheapest strategy *avoiding* Cartesian products: each component solved
@@ -322,15 +411,32 @@ pub fn best_avoid_cartesian<O: CardinalityOracle>(
     subset: RelSet,
     algorithm: DpAlgorithm,
 ) -> Option<Plan> {
+    try_best_avoid_cartesian(oracle, subset, algorithm, &Guard::unlimited())
+        .expect("unlimited-guard DP cannot fail")
+}
+
+/// [`best_avoid_cartesian`] under a budget.
+pub fn try_best_avoid_cartesian<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    algorithm: DpAlgorithm,
+    guard: &Guard,
+) -> Result<Option<Plan>, MjoinError> {
     let comps = oracle.scheme().components(subset);
     if comps.len() == 1 {
-        return best_no_cartesian(oracle, subset, algorithm);
+        return try_best_no_cartesian(oracle, subset, algorithm, guard);
     }
-    let plans: Vec<Plan> = comps
-        .iter()
-        .map(|&c| best_no_cartesian(oracle, c, algorithm))
-        .collect::<Option<Vec<_>>>()?;
-    let sizes: Vec<u64> = comps.iter().map(|&c| oracle.tau(c)).collect();
+    let mut plans: Vec<Plan> = Vec::with_capacity(comps.len());
+    for &c in &comps {
+        match try_best_no_cartesian(oracle, c, algorithm, guard)? {
+            Some(p) => plans.push(p),
+            None => return Ok(None),
+        }
+    }
+    let mut sizes: Vec<u64> = Vec::with_capacity(comps.len());
+    for &c in &comps {
+        sizes.push(oracle.try_tau(c)?);
+    }
 
     // DP over subsets of components; a step multiplying component-set C
     // produces Π sizes (the components share no attributes).
@@ -341,63 +447,96 @@ pub fn best_avoid_cartesian<O: CardinalityOracle>(
         sizes: &[u64],
         base: &[u64],
         memo: &mut SplitMemo,
-    ) -> u64 {
+        guard: &Guard,
+    ) -> Result<u64, MjoinError> {
         if cs.is_singleton() {
-            return base[cs.first().expect("singleton")];
+            let Some(i) = cs.first() else {
+                return Err(MjoinError::Internal("singleton with no member".into()));
+            };
+            return Ok(base[i]);
         }
         if let Some(&(c, _)) = memo.get(&cs) {
-            return c;
+            return Ok(c);
         }
+        guard.checkpoint()?;
         let own: u64 = cs
             .iter()
             .fold(1u64, |acc, i| acc.saturating_mul(sizes[i]));
         let mut best = u64::MAX;
         let mut best_split = None;
         for (a, b) in cs.proper_splits() {
-            let c = combo(a, sizes, base, memo).saturating_add(combo(b, sizes, base, memo));
+            let c = combo(a, sizes, base, memo, guard)?
+                .saturating_add(combo(b, sizes, base, memo, guard)?);
             if c < best {
                 best = c;
                 best_split = Some((a, b));
             }
         }
         let total = own.saturating_add(best);
+        guard.charge_memo(1)?;
         memo.insert(cs, (total, best_split));
-        total
+        Ok(total)
     }
     let base: Vec<u64> = plans.iter().map(|p| p.cost).collect();
     let full = RelSet::full(k);
-    let cost = combo(full, &sizes, &base, &mut memo);
+    let cost = combo(full, &sizes, &base, &mut memo, guard)?;
 
     // Assemble the relation-level strategy from the component-level tree.
-    fn assemble(cs: RelSet, plans: &[Plan], memo: &SplitMemo) -> Strategy {
+    fn assemble(cs: RelSet, plans: &[Plan], memo: &SplitMemo) -> Result<Strategy, MjoinError> {
         if cs.is_singleton() {
-            return plans[cs.first().expect("singleton")].strategy.clone();
+            let Some(i) = cs.first() else {
+                return Err(MjoinError::Internal("singleton with no member".into()));
+            };
+            return Ok(plans[i].strategy.clone());
         }
-        let (_, split) = memo[&cs];
-        let (a, b) = split.expect("non-singleton entries record splits");
-        Strategy::join(assemble(a, plans, memo), assemble(b, plans, memo))
-            .expect("components are disjoint")
+        let Some(&(_, split)) = memo.get(&cs) else {
+            return Err(MjoinError::Internal(format!(
+                "component DP memo lost subset {cs:?} during assembly"
+            )));
+        };
+        let Some((a, b)) = split else {
+            return Err(MjoinError::Internal(
+                "non-singleton component entries must record splits".into(),
+            ));
+        };
+        Strategy::join(assemble(a, plans, memo)?, assemble(b, plans, memo)?)
+            .map_err(|e| MjoinError::Internal(format!("components must be disjoint: {e}")))
     }
-    Some(Plan {
-        strategy: assemble(full, &plans, &memo),
+    Ok(Some(Plan {
+        strategy: assemble(full, &plans, &memo)?,
         cost,
-    })
+    }))
 }
 
-/// Rebuilds a strategy from a split table.
-pub(crate) fn rebuild(s: RelSet, memo: &SplitMemo) -> Strategy {
+/// Rebuilds a strategy from a split table. Memo corruption (a solved
+/// subset with no recorded split, or overlapping splits) surfaces as
+/// [`MjoinError::Internal`] rather than a panic.
+pub(crate) fn try_rebuild(s: RelSet, memo: &SplitMemo) -> Result<Strategy, MjoinError> {
     if s.is_singleton() {
-        return Strategy::leaf(s.first().expect("singleton"));
+        let Some(i) = s.first() else {
+            return Err(MjoinError::Internal("singleton with no member".into()));
+        };
+        return Ok(Strategy::leaf(i));
     }
-    let (_, split) = memo[&s];
-    let (s1, s2) = split.expect("solved non-singletons record their split");
-    Strategy::join(rebuild(s1, memo), rebuild(s2, memo)).expect("splits are disjoint")
+    let Some(&(_, split)) = memo.get(&s) else {
+        return Err(MjoinError::Internal(format!(
+            "DP memo has no entry for solved subset {s:?}"
+        )));
+    };
+    let Some((s1, s2)) = split else {
+        return Err(MjoinError::Internal(
+            "solved non-singletons must record their split".into(),
+        ));
+    };
+    Strategy::join(try_rebuild(s1, memo)?, try_rebuild(s2, memo)?)
+        .map_err(|e| MjoinError::Internal(format!("memoized splits must be disjoint: {e}")))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mjoin_cost::{Database, ExactOracle};
+    use mjoin_guard::Budget;
 
     fn chain4() -> Database {
         Database::from_specs(&[
@@ -527,5 +666,40 @@ mod tests {
         let mut o = ExactOracle::new(&db);
         let full = db.scheme().full_set();
         assert!(best_bushy(&mut o, full).cost <= best_linear(&mut o, full, false).cost);
+    }
+
+    #[test]
+    fn memo_cap_trips_the_bushy_dp() {
+        let db = chain4();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let guard = Guard::new(Budget::unlimited().with_max_memo_entries(2));
+        let err = try_best_bushy(&mut o, full, &guard).unwrap_err();
+        assert!(matches!(err, MjoinError::BudgetExceeded { .. }), "{err}");
+        // The same DP under no budget still succeeds.
+        let mut o2 = ExactOracle::new(&db);
+        assert!(try_best_bushy(&mut o2, full, &Guard::unlimited()).is_ok());
+    }
+
+    #[test]
+    fn guarded_and_unguarded_dps_agree() {
+        let db = chain4();
+        let full = db.scheme().full_set();
+        let mut o1 = ExactOracle::new(&db);
+        let mut o2 = ExactOracle::new(&db);
+        let legacy = best_bushy(&mut o1, full);
+        let guarded = try_best_bushy(&mut o2, full, &Guard::new(Budget::unlimited())).unwrap();
+        assert_eq!(legacy.cost, guarded.cost);
+        assert_eq!(legacy.strategy, guarded.strategy);
+    }
+
+    #[test]
+    fn dp_failpoint_propagates_typed_error() {
+        let db = chain4();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let _fp = mjoin_guard::failpoints::ScopedFailpoint::arm("optimizer::dp");
+        let err = try_best_bushy(&mut o, full, &Guard::unlimited()).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
     }
 }

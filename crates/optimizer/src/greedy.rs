@@ -11,6 +11,7 @@
 //!   relation that keeps the running intermediate smallest.
 
 use mjoin_cost::CardinalityOracle;
+use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::RelSet;
 use mjoin_strategy::Strategy;
 
@@ -20,18 +21,35 @@ use crate::plan::Plan;
 /// merge the pair whose join output is smallest (ties: prefer linked pairs,
 /// then lower indices).
 pub fn greedy_bushy<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Plan {
-    assert!(!subset.is_empty(), "cannot plan the empty database");
+    try_greedy_bushy(oracle, subset, &Guard::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`greedy_bushy`] under a budget: each merge round is checkpointed and
+/// every pair cardinality goes through the fallible oracle surface.
+pub fn try_greedy_bushy<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    guard: &Guard,
+) -> Result<Plan, MjoinError> {
+    failpoints::hit("optimizer::greedy")?;
+    if subset.is_empty() {
+        return Err(MjoinError::InvalidScheme(
+            "cannot plan the empty database".into(),
+        ));
+    }
     let mut forest: Vec<(RelSet, Strategy)> = subset
         .iter()
         .map(|i| (RelSet::singleton(i), Strategy::leaf(i)))
         .collect();
     let mut cost = 0u64;
     while forest.len() > 1 {
+        guard.checkpoint()?;
         let mut best: Option<(u64, bool, usize, usize)> = None;
         for i in 0..forest.len() {
             for j in (i + 1)..forest.len() {
                 let linked = oracle.scheme().linked(forest[i].0, forest[j].0);
-                let out = oracle.tau_join(forest[i].0, forest[j].0);
+                let out = oracle.try_tau_join(forest[i].0, forest[j].0)?;
                 // Smaller output wins; linked breaks ties.
                 let key = (out, !linked, i, j);
                 if best.is_none_or(|(bo, bnl, bi, bj)| key < (bo, bnl, bi, bj)) {
@@ -39,52 +57,79 @@ pub fn greedy_bushy<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Pla
                 }
             }
         }
-        let (out, _, i, j) = best.expect("≥ 2 trees remain");
+        let Some((out, _, i, j)) = best else {
+            return Err(MjoinError::Internal("≥ 2 trees must remain".into()));
+        };
         cost = cost.saturating_add(out);
         // i < j, so removing j first leaves index i pointing at the same
         // tree (swap_remove only disturbs positions ≥ j).
         let (sj_set, sj) = forest.swap_remove(j);
         let (si_set, si) = forest.swap_remove(i);
-        let merged = Strategy::join(si, sj).expect("forest trees are disjoint");
+        let merged = Strategy::join(si, sj)
+            .map_err(|e| MjoinError::Internal(format!("forest trees must be disjoint: {e}")))?;
         forest.push((si_set.union(sj_set), merged));
     }
-    let (_, strategy) = forest.pop().expect("one tree remains");
-    Plan { strategy, cost }
+    let Some((_, strategy)) = forest.pop() else {
+        return Err(MjoinError::Internal("one tree must remain".into()));
+    };
+    Ok(Plan { strategy, cost })
 }
 
 /// Greedy linear planner: start from the smallest relation, then repeatedly
 /// append the relation minimizing the next intermediate (preferring linked
 /// extensions).
 pub fn greedy_linear<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Plan {
-    assert!(!subset.is_empty(), "cannot plan the empty database");
-    let start = subset
-        .iter()
-        .min_by_key(|&i| (oracle.tau(RelSet::singleton(i)), i))
-        .expect("nonempty");
+    try_greedy_linear(oracle, subset, &Guard::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`greedy_linear`] under a budget.
+pub fn try_greedy_linear<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    guard: &Guard,
+) -> Result<Plan, MjoinError> {
+    failpoints::hit("optimizer::greedy")?;
+    if subset.is_empty() {
+        return Err(MjoinError::InvalidScheme(
+            "cannot plan the empty database".into(),
+        ));
+    }
+    let mut start = None;
+    for i in subset.iter() {
+        let t = oracle.try_tau(RelSet::singleton(i))?;
+        if start.is_none_or(|(bt, bi)| (t, i) < (bt, bi)) {
+            start = Some((t, i));
+        }
+    }
+    let Some((_, start)) = start else {
+        return Err(MjoinError::Internal("nonempty subset has a minimum".into()));
+    };
     let mut prefix = RelSet::singleton(start);
     let mut order = vec![start];
     let mut cost = 0u64;
     while prefix != subset {
-        let next = subset
-            .difference(prefix)
-            .iter()
-            .min_by_key(|&i| {
-                let linked = oracle.scheme().linked(prefix, RelSet::singleton(i));
-                (
-                    !linked,
-                    oracle.tau_join(prefix, RelSet::singleton(i)),
-                    i,
-                )
-            })
-            .expect("prefix is proper");
-        cost = cost.saturating_add(oracle.tau_join(prefix, RelSet::singleton(next)));
+        guard.checkpoint()?;
+        let mut next = None;
+        for i in subset.difference(prefix).iter() {
+            let linked = oracle.scheme().linked(prefix, RelSet::singleton(i));
+            let out = oracle.try_tau_join(prefix, RelSet::singleton(i))?;
+            let key = (!linked, out, i);
+            if next.is_none_or(|k| key < k) {
+                next = Some(key);
+            }
+        }
+        let Some((_, out, next)) = next else {
+            return Err(MjoinError::Internal("prefix must be proper".into()));
+        };
+        cost = cost.saturating_add(out);
         prefix.insert(next);
         order.push(next);
     }
-    Plan {
+    Ok(Plan {
         strategy: Strategy::left_deep(&order),
         cost,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //! synthetic model and bounded behaviour elsewhere.
 
 use mjoin_cost::CardinalityOracle;
+use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::RelSet;
 use mjoin_strategy::Strategy;
 
@@ -79,11 +80,30 @@ fn merge_chains(a: Vec<Module>, b: Vec<Module>) -> Vec<Module> {
 /// the DP planners.
 pub fn ikkbz<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<Plan> {
     assert!(!subset.is_empty(), "cannot plan the empty database");
+    try_ikkbz(oracle, subset, &Guard::unlimited()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`ikkbz`] under a budget: the per-root precedence-tree solves are
+/// checkpointed and model parameters come from the fallible oracle surface.
+pub fn try_ikkbz<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    guard: &Guard,
+) -> Result<Option<Plan>, MjoinError> {
+    failpoints::hit("optimizer::ikkbz")?;
+    if subset.is_empty() {
+        return Err(MjoinError::InvalidScheme(
+            "cannot plan the empty database".into(),
+        ));
+    }
     if subset.is_singleton() {
-        return Some(Plan {
-            strategy: Strategy::leaf(subset.first().expect("singleton")),
+        let Some(first) = subset.first() else {
+            return Err(MjoinError::Internal("singleton with no member".into()));
+        };
+        return Ok(Some(Plan {
+            strategy: Strategy::leaf(first),
             cost: 0,
-        });
+        }));
     }
     let members: Vec<usize> = subset.iter().collect();
     let n = members.len();
@@ -104,22 +124,23 @@ pub fn ikkbz<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<Pla
     }
     // A tree query graph has exactly n − 1 edges and is connected.
     if edge_count != n - 1 || !oracle.scheme().connected(subset) {
-        return None;
+        return Ok(None);
     }
 
     // Model parameters: n_i and per-edge selectivities, derived from the
     // oracle (exact on multiplicative models).
-    let card: Vec<f64> = members
-        .iter()
-        .map(|&i| oracle.tau(RelSet::singleton(i)) as f64)
-        .collect();
+    let mut card: Vec<f64> = Vec::with_capacity(n);
+    for &i in &members {
+        card.push(oracle.try_tau(RelSet::singleton(i))? as f64);
+    }
     let mut sel = vec![vec![1.0f64; n]; n];
     for ia in 0..n {
         for &ib in adjacency[ia].clone().iter() {
             if ib > ia {
-                let pair = oracle
-                    .tau_join(RelSet::singleton(members[ia]), RelSet::singleton(members[ib]))
-                    as f64;
+                let pair = oracle.try_tau_join(
+                    RelSet::singleton(members[ia]),
+                    RelSet::singleton(members[ib]),
+                )? as f64;
                 let s = pair / (card[ia] * card[ib]).max(1.0);
                 sel[ia][ib] = s;
                 sel[ib][ia] = s;
@@ -167,18 +188,19 @@ pub fn ikkbz<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Option<Pla
 
     let mut best: Option<Plan> = None;
     for root in 0..n {
+        guard.checkpoint()?;
         let chain = solve(root, None, &adjacency, &card, &sel);
         let mut order = vec![members[root]];
         for m in &chain {
             order.extend(m.rels.iter().map(|&local| members[local]));
         }
         let strategy = Strategy::left_deep(&order);
-        let cost = strategy.cost(oracle);
+        let cost = strategy.try_cost(oracle)?;
         if best.as_ref().is_none_or(|b| cost < b.cost) {
             best = Some(Plan { strategy, cost });
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]

@@ -46,6 +46,10 @@ pub use complexity::{enumeration_stats, EnumerationStats};
 pub use dp::DpAlgorithm;
 pub use explain::{Explanation, ExplainStep};
 pub use monotone::{best_monotone, exists_monotone, Monotonicity};
-pub use greedy::{greedy_bushy, greedy_linear};
-pub use ikkbz::ikkbz;
-pub use plan::{optimize, optimize_with, Plan, SearchSpace};
+pub use dp::{
+    best_avoid_cartesian, best_bushy, best_linear, best_no_cartesian,
+    try_best_avoid_cartesian, try_best_bushy, try_best_linear, try_best_no_cartesian,
+};
+pub use greedy::{greedy_bushy, greedy_linear, try_greedy_bushy, try_greedy_linear};
+pub use ikkbz::{ikkbz, try_ikkbz};
+pub use plan::{optimize, optimize_with, try_optimize, try_optimize_with, Plan, SearchSpace};

@@ -1,6 +1,7 @@
 //! Search spaces and the optimizer entry point.
 
 use mjoin_cost::CardinalityOracle;
+use mjoin_guard::{Guard, MjoinError};
 use mjoin_hypergraph::RelSet;
 use mjoin_strategy::Strategy;
 
@@ -58,24 +59,57 @@ pub fn optimize_with<O: CardinalityOracle>(
     algorithm: DpAlgorithm,
 ) -> Option<Plan> {
     assert!(!subset.is_empty(), "cannot optimize the empty database");
+    try_optimize_with(oracle, subset, space, algorithm, &Guard::unlimited())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`optimize`] under a budget: propagates deadline/cap trips and injected
+/// faults as typed errors instead of hanging or panicking.
+pub fn try_optimize<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    space: SearchSpace,
+    guard: &Guard,
+) -> Result<Option<Plan>, MjoinError> {
+    try_optimize_with(oracle, subset, space, DpAlgorithm::DpSub, guard)
+}
+
+/// [`optimize_with`] under a budget.
+pub fn try_optimize_with<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    space: SearchSpace,
+    algorithm: DpAlgorithm,
+    guard: &Guard,
+) -> Result<Option<Plan>, MjoinError> {
+    if subset.is_empty() {
+        return Err(MjoinError::InvalidScheme(
+            "cannot optimize the empty database".into(),
+        ));
+    }
     if subset.is_singleton() {
-        return Some(Plan {
-            strategy: Strategy::leaf(subset.first().expect("singleton")),
+        let Some(first) = subset.first() else {
+            return Err(MjoinError::Internal("singleton with no member".into()));
+        };
+        return Ok(Some(Plan {
+            strategy: Strategy::leaf(first),
             cost: 0,
-        });
+        }));
     }
     match space {
-        SearchSpace::All => Some(dp::best_bushy(oracle, subset)),
-        SearchSpace::Linear => Some(dp::best_linear(oracle, subset, false)),
-        SearchSpace::NoCartesian => dp::best_no_cartesian(oracle, subset, algorithm),
+        SearchSpace::All => dp::try_best_bushy(oracle, subset, guard).map(Some),
+        SearchSpace::Linear => dp::try_best_linear(oracle, subset, false, guard).map(Some),
+        SearchSpace::NoCartesian => dp::try_best_no_cartesian(oracle, subset, algorithm, guard),
         SearchSpace::LinearNoCartesian => {
             if oracle.scheme().connected(subset) {
-                Some(dp::best_linear(oracle, subset, true))
+                dp::try_best_linear(oracle, subset, true, guard).map(Some)
             } else {
-                None
+                Ok(None)
             }
         }
-        SearchSpace::AvoidCartesian => dp::best_avoid_cartesian(oracle, subset, algorithm),
+        SearchSpace::AvoidCartesian => {
+            dp::try_best_avoid_cartesian(oracle, subset, algorithm, guard)
+        }
     }
 }
 

@@ -11,7 +11,44 @@
 use crate::attr::{AttrSet, Attribute};
 use crate::relation::{Relation, Tuple};
 use crate::value::Value;
+use mjoin_guard::{failpoints, Guard, MjoinError};
 use std::collections::HashMap;
+
+/// Output-tuple charges are flushed to the guard in batches of this size,
+/// so a guarded join costs one counter increment per emitted row plus one
+/// atomic per batch.
+const CHARGE_BATCH: u64 = 1024;
+
+/// Accumulates emitted-tuple counts and flushes them to the guard in
+/// batches. The final partial batch is flushed by [`Charger::finish`].
+struct Charger<'g> {
+    guard: &'g Guard,
+    pending: u64,
+}
+
+impl<'g> Charger<'g> {
+    fn new(guard: &'g Guard) -> Self {
+        Charger { guard, pending: 0 }
+    }
+
+    #[inline]
+    fn emit(&mut self) -> Result<(), MjoinError> {
+        self.pending += 1;
+        if self.pending >= CHARGE_BATCH {
+            let n = std::mem::take(&mut self.pending);
+            self.guard.charge_tuples(n)?;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<(), MjoinError> {
+        let n = std::mem::take(&mut self.pending);
+        if n > 0 {
+            self.guard.charge_tuples(n)?;
+        }
+        Ok(())
+    }
+}
 
 /// Physical join algorithm selector.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -92,16 +129,34 @@ impl JoinPlan {
 
 /// Joins two relations with the requested algorithm.
 pub(crate) fn join(left: &Relation, right: &Relation, algorithm: JoinAlgorithm) -> Relation {
-    let plan = JoinPlan::new(left, right);
-    let tuples = match algorithm {
-        JoinAlgorithm::Hash => hash_join(left, right, &plan),
-        JoinAlgorithm::SortMerge => sort_merge_join(left, right, &plan),
-        JoinAlgorithm::NestedLoop => nested_loop_join(left, right, &plan),
-    };
-    Relation::from_tuples_unchecked(plan.out_scheme, tuples)
+    join_guarded(left, right, algorithm, &Guard::unlimited())
+        .expect("unlimited guard cannot trip")
 }
 
-fn hash_join(left: &Relation, right: &Relation, plan: &JoinPlan) -> Vec<Tuple> {
+/// Joins two relations, charging every emitted tuple to `guard` so runaway
+/// intermediates stop at the budget instead of exhausting memory.
+pub(crate) fn join_guarded(
+    left: &Relation,
+    right: &Relation,
+    algorithm: JoinAlgorithm,
+    guard: &Guard,
+) -> Result<Relation, MjoinError> {
+    failpoints::hit("relation::join")?;
+    let plan = JoinPlan::new(left, right);
+    let tuples = match algorithm {
+        JoinAlgorithm::Hash => hash_join(left, right, &plan, guard)?,
+        JoinAlgorithm::SortMerge => sort_merge_join(left, right, &plan, guard)?,
+        JoinAlgorithm::NestedLoop => nested_loop_join(left, right, &plan, guard)?,
+    };
+    Ok(Relation::from_tuples_unchecked(plan.out_scheme, tuples))
+}
+
+fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    plan: &JoinPlan,
+    guard: &Guard,
+) -> Result<Vec<Tuple>, MjoinError> {
     // Build on the smaller side.
     let (build, probe, build_is_left) = if left.tau() <= right.tau() {
         (left, right, true)
@@ -112,10 +167,12 @@ fn hash_join(left: &Relation, right: &Relation, plan: &JoinPlan) -> Vec<Tuple> {
     for t in build.tuples() {
         table.entry(plan.key(t, build_is_left)).or_default().push(t);
     }
+    let mut charger = Charger::new(guard);
     let mut out = Vec::new();
     for t in probe.tuples() {
         if let Some(matches) = table.get(&plan.key(t, !build_is_left)) {
             for m in matches {
+                charger.emit()?;
                 if build_is_left {
                     out.push(plan.emit(m, t));
                 } else {
@@ -124,10 +181,16 @@ fn hash_join(left: &Relation, right: &Relation, plan: &JoinPlan) -> Vec<Tuple> {
             }
         }
     }
-    out
+    charger.finish()?;
+    Ok(out)
 }
 
-fn sort_merge_join(left: &Relation, right: &Relation, plan: &JoinPlan) -> Vec<Tuple> {
+fn sort_merge_join(
+    left: &Relation,
+    right: &Relation,
+    plan: &JoinPlan,
+    guard: &Guard,
+) -> Result<Vec<Tuple>, MjoinError> {
     // Sort both sides by their shared-attribute key.
     fn key_cmp(cols: &[usize], a: &Tuple, b: &Tuple) -> std::cmp::Ordering {
         for &c in cols {
@@ -143,6 +206,7 @@ fn sort_merge_join(left: &Relation, right: &Relation, plan: &JoinPlan) -> Vec<Tu
     ls.sort_by(|a, b| key_cmp(&plan.left_key, a, b));
     rs.sort_by(|a, b| key_cmp(&plan.right_key, a, b));
 
+    let mut charger = Charger::new(guard);
     let mut out = Vec::new();
     let (mut i, mut j) = (0, 0);
     while i < ls.len() && j < rs.len() {
@@ -161,6 +225,7 @@ fn sort_merge_join(left: &Relation, right: &Relation, plan: &JoinPlan) -> Vec<Tu
                     .unwrap_or(rs.len());
                 for l in &ls[i..i_end] {
                     for r in &rs[j..j_end] {
+                        charger.emit()?;
                         out.push(plan.emit(l, r));
                     }
                 }
@@ -169,20 +234,29 @@ fn sort_merge_join(left: &Relation, right: &Relation, plan: &JoinPlan) -> Vec<Tu
             }
         }
     }
-    out
+    charger.finish()?;
+    Ok(out)
 }
 
-fn nested_loop_join(left: &Relation, right: &Relation, plan: &JoinPlan) -> Vec<Tuple> {
+fn nested_loop_join(
+    left: &Relation,
+    right: &Relation,
+    plan: &JoinPlan,
+    guard: &Guard,
+) -> Result<Vec<Tuple>, MjoinError> {
+    let mut charger = Charger::new(guard);
     let mut out = Vec::new();
     for l in left.tuples() {
         let lk = plan.key(l, true);
         for r in right.tuples() {
             if lk == plan.key(r, false) {
+                charger.emit()?;
                 out.push(plan.emit(l, r));
             }
         }
     }
-    out
+    charger.finish()?;
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -178,6 +178,19 @@ impl Relation {
     ) -> Relation {
         crate::join::join(self, other, algorithm)
     }
+
+    /// Natural join charging every emitted tuple to `guard`: the join
+    /// stops with [`mjoin_guard::MjoinError::BudgetExceeded`] as soon as
+    /// the output would pass the budget's tuple cap, instead of
+    /// materializing an intermediate the budget forbids.
+    pub fn natural_join_guarded(
+        &self,
+        other: &Relation,
+        algorithm: crate::join::JoinAlgorithm,
+        guard: &mjoin_guard::Guard,
+    ) -> Result<Relation, mjoin_guard::MjoinError> {
+        crate::join::join_guarded(self, other, algorithm, guard)
+    }
 }
 
 impl Relation {

@@ -22,8 +22,9 @@
 #![warn(missing_docs)]
 
 use mjoin_cost::{Database, ExactOracle};
+use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::JoinTree;
-use mjoin_relation::Relation;
+use mjoin_relation::{JoinAlgorithm, Relation};
 use mjoin_strategy::Strategy;
 
 /// Is every linked pair of relation states consistent
@@ -70,26 +71,46 @@ pub fn full_reduce_with_stats(
     tree: &JoinTree,
     root: usize,
 ) -> (Database, ReductionStats) {
+    try_full_reduce_with_stats(db, tree, root, &Guard::unlimited())
+        .expect("unlimited-guard reduction cannot fail")
+}
+
+/// [`full_reduce_with_stats`] under a budget: each semijoin is
+/// checkpointed and its scanned tuples are charged to `guard`.
+pub fn try_full_reduce_with_stats(
+    db: &Database,
+    tree: &JoinTree,
+    root: usize,
+    guard: &Guard,
+) -> Result<(Database, ReductionStats), MjoinError> {
+    failpoints::hit("semijoin::reduce")?;
     let mut out = db.clone();
     let mut stats = ReductionStats::default();
     let order = tree.reduction_order(root);
-    let apply = |out: &mut Database, target: usize, with: usize, stats: &mut ReductionStats| {
+    let apply = |out: &mut Database,
+                     target: usize,
+                     with: usize,
+                     stats: &mut ReductionStats|
+     -> Result<(), MjoinError> {
+        guard.checkpoint()?;
         let before = out.state(target).tau();
+        guard.charge_tuples(before)?;
         let reduced = out.state(target).semijoin(out.state(with));
         stats.semijoins += 1;
         stats.tuples_scanned += before;
         stats.tuples_removed += before - reduced.tau();
         out.replace_state(target, reduced);
+        Ok(())
     };
     // Upward: parent ⋉ child, children first.
     for &(child, parent) in &order {
-        apply(&mut out, parent, child, &mut stats);
+        apply(&mut out, parent, child, &mut stats)?;
     }
     // Downward: child ⋉ parent, from the root back out.
     for &(child, parent) in order.iter().rev() {
-        apply(&mut out, child, parent, &mut stats);
+        apply(&mut out, child, parent, &mut stats)?;
     }
-    (out, stats)
+    Ok((out, stats))
 }
 
 /// Iterates pairwise semijoins over all linked pairs until no relation
@@ -97,11 +118,24 @@ pub fn full_reduce_with_stats(
 /// consistency on any scheme, cyclic or not — but unlike [`full_reduce`]
 /// may leave globally dangling tuples on cyclic schemes.
 pub fn pairwise_consistent_fixpoint(db: &Database) -> Database {
+    try_pairwise_consistent_fixpoint(db, &Guard::unlimited())
+        .expect("unlimited-guard reduction cannot fail")
+}
+
+/// [`pairwise_consistent_fixpoint`] under a budget: every pairwise
+/// semijoin round is checkpointed, so a deadline interrupts even
+/// slowly-converging fixpoints.
+pub fn try_pairwise_consistent_fixpoint(
+    db: &Database,
+    guard: &Guard,
+) -> Result<Database, MjoinError> {
+    failpoints::hit("semijoin::reduce")?;
     let mut out = db.clone();
     let n = out.len();
     loop {
         let mut changed = false;
         for i in 0..n {
+            guard.checkpoint()?;
             for j in 0..n {
                 if i == j || !out.scheme().scheme(i).intersects(out.scheme().scheme(j)) {
                     continue;
@@ -114,7 +148,7 @@ pub fn pairwise_consistent_fixpoint(db: &Database) -> Database {
             }
         }
         if !changed {
-            return out;
+            return Ok(out);
         }
     }
 }
@@ -136,9 +170,18 @@ pub struct YannakakisOutput {
 /// reduction, then a leaves-to-root linear join. Returns `None` when the
 /// scheme is cyclic or disconnected (no join tree).
 pub fn yannakakis(db: &Database) -> Option<YannakakisOutput> {
-    let tree = JoinTree::build(db.scheme())?;
+    try_yannakakis(db, &Guard::unlimited()).expect("unlimited-guard evaluation cannot fail")
+}
+
+/// [`yannakakis`] under a budget: the reduction pass, the cost probe and
+/// the final join pipeline all charge the same guard, so a deadline or
+/// tuple cap interrupts the evaluation at the next kernel batch.
+pub fn try_yannakakis(db: &Database, guard: &Guard) -> Result<Option<YannakakisOutput>, MjoinError> {
+    let Some(tree) = JoinTree::build(db.scheme()) else {
+        return Ok(None);
+    };
     let root = 0;
-    let reduced = full_reduce(db, &tree, root);
+    let (reduced, _) = try_full_reduce_with_stats(db, &tree, root, guard)?;
     // Join in reverse reduction order (root outward ⇒ each new relation is
     // tree-adjacent to the prefix, so the strategy is product-free).
     let mut order: Vec<usize> = vec![root];
@@ -146,15 +189,18 @@ pub fn yannakakis(db: &Database) -> Option<YannakakisOutput> {
         order.push(child);
     }
     let strategy = Strategy::left_deep(&order);
-    let mut oracle = ExactOracle::new(&reduced);
-    let cost = strategy.cost(&mut oracle);
-    let result = reduced.evaluate();
-    Some(YannakakisOutput {
+    let mut oracle = ExactOracle::with_guard(&reduced, guard.clone());
+    let cost = strategy.try_cost(&mut oracle)?;
+    let mut result = reduced.state(order[0]).clone();
+    for &i in &order[1..] {
+        result = result.natural_join_guarded(reduced.state(i), JoinAlgorithm::Hash, guard)?;
+    }
+    Ok(Some(YannakakisOutput {
         reduced,
         strategy,
         result,
         cost,
-    })
+    }))
 }
 
 /// Root-outward edge order: reverse of the leaves-to-root reduction order.

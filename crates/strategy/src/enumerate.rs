@@ -8,6 +8,7 @@
 //! in total, of which `n!/2` are linear. These functions regenerate both
 //! the spaces and the counts (experiment `E0-counting`).
 
+use mjoin_guard::{Guard, MjoinError};
 use mjoin_hypergraph::{DbScheme, RelSet};
 
 use crate::node::Strategy;
@@ -21,6 +22,50 @@ pub fn for_each_strategy<F: FnMut(&Strategy)>(subset: RelSet, f: &mut F) {
     for s in enumerate_all(subset) {
         f(&s);
     }
+}
+
+/// Lazy, interruptible strategy enumeration: visits the same `(2k−3)!!`
+/// trees as [`for_each_strategy`] but *without materializing the space*,
+/// checking `guard` at every recursion step so a deadline or cancellation
+/// stops the walk promptly even when the space is astronomically large.
+/// The visitor can also abort by returning an error.
+pub fn try_for_each_strategy(
+    subset: RelSet,
+    guard: &Guard,
+    f: &mut dyn FnMut(&Strategy) -> Result<(), MjoinError>,
+) -> Result<(), MjoinError> {
+    if subset.is_empty() {
+        return Err(MjoinError::InvalidScheme(
+            "strategies need at least one relation".into(),
+        ));
+    }
+    each_rec(subset, guard, f)
+}
+
+fn each_rec(
+    subset: RelSet,
+    guard: &Guard,
+    f: &mut dyn FnMut(&Strategy) -> Result<(), MjoinError>,
+) -> Result<(), MjoinError> {
+    guard.checkpoint()?;
+    if subset.is_singleton() {
+        let Some(i) = subset.first() else {
+            return Err(MjoinError::Internal("singleton with no member".into()));
+        };
+        return f(&Strategy::leaf(i));
+    }
+    for (s1, s2) in subset.proper_splits() {
+        each_rec(s1, guard, &mut |left: &Strategy| {
+            let left = left.clone();
+            each_rec(s2, guard, &mut |right: &Strategy| {
+                let joined = Strategy::join(left.clone(), right.clone()).map_err(|e| {
+                    MjoinError::Internal(format!("proper splits must be disjoint: {e}"))
+                })?;
+                f(&joined)
+            })
+        })?;
+    }
+    Ok(())
 }
 
 /// All strategies for `subset` (unordered trees, one representative per

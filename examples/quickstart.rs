@@ -31,7 +31,7 @@ fn main() {
     println!();
 
     // What does the paper license for this database?
-    let analysis = analyze(&db);
+    let analysis = analyze(&db).unwrap();
     println!("connected scheme: {}", analysis.connected);
     println!("R_D nonempty:     {}", analysis.result_nonempty);
     println!("acyclicity:       {:?}", analysis.acyclicity);

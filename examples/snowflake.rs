@@ -52,7 +52,7 @@ fn main() {
     // The analyzer's verdict: C2 but not C3 — fact-side foreign keys
     // repeat, so joins shrink only the dimension side. Theorem 3 is out;
     // nothing licenses the linear restriction.
-    let a = analyze(&db);
+    let a = analyze(&db).unwrap();
     println!(
         "\nconditions: C1={} C2={} C3={}  →  safe space: {:?}",
         a.conditions.c1,

@@ -22,7 +22,7 @@ fn show(db: &mjoin::Database, title: &str, strategies: &[(&str, Strategy)]) {
             s.uses_cartesian(db.scheme()),
         );
     }
-    let a = analyze(db);
+    let a = analyze(db).unwrap();
     println!(
         "  conditions: C1={} C1'={} C2={} C3={}",
         a.conditions.c1, a.conditions.c1_strict, a.conditions.c2, a.conditions.c3

@@ -24,7 +24,7 @@ struct Expectation {
 }
 
 fn check(e: &Expectation) {
-    let a: Analysis = analyze(&e.db);
+    let a: Analysis = analyze(&e.db).unwrap();
     assert_eq!(a.connected, e.connected, "{}: connected", e.name);
     assert_eq!(a.conditions.c1, e.c1, "{}: C1", e.name);
     assert_eq!(a.conditions.c1_strict, e.c1_strict, "{}: C1'", e.name);

@@ -1,0 +1,156 @@
+//! Deterministic fault injection: every registered failpoint site, when
+//! armed, surfaces as a typed [`MjoinError::Internal`] from the layer that
+//! owns it — never as a panic, and never swallowed by the degradation
+//! ladder (injected faults are bugs-by-construction, not budget trips).
+//!
+//! Failpoints are process-global, so every test here serializes on one
+//! mutex; this file is its own integration-test binary, so it cannot
+//! interfere with the rest of the suite.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use mjoin::failpoints::{self, ScopedFailpoint, SITES};
+use mjoin::{
+    optimize_robust, try_greedy_bushy, try_ikkbz, Budget, CardinalityOracle, Database,
+    ExactOracle, Guard, MjoinError, SearchSpace,
+};
+use mjoin_gen::data;
+use mjoin_hypergraph::JoinTree;
+use mjoin_relation::JoinAlgorithm;
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn db() -> Database {
+    data::paper_example4()
+}
+
+/// Drives the one entry point that owns `site` and returns its error.
+fn provoke(site: &str) -> MjoinError {
+    let db = db();
+    let full = db.scheme().full_set();
+    let guard = Guard::unlimited();
+    match site {
+        "cost::materialize" => {
+            let mut oracle = ExactOracle::new(&db);
+            oracle.try_tau(full).unwrap_err()
+        }
+        "relation::join" => db
+            .state(0)
+            .natural_join_guarded(db.state(1), JoinAlgorithm::Hash, &guard)
+            .unwrap_err(),
+        "optimizer::dp" => {
+            let mut oracle = ExactOracle::new(&db);
+            mjoin_optimizer::try_best_bushy(&mut oracle, full, &guard).unwrap_err()
+        }
+        "optimizer::greedy" => {
+            let mut oracle = ExactOracle::new(&db);
+            try_greedy_bushy(&mut oracle, full, &guard).unwrap_err()
+        }
+        "optimizer::ikkbz" => {
+            let mut oracle = ExactOracle::new(&db);
+            try_ikkbz(&mut oracle, full, &guard).unwrap_err()
+        }
+        "optimizer::exhaustive" | "core::ladder" => {
+            optimize_robust(&db, full, SearchSpace::All, Budget::unlimited(), None).unwrap_err()
+        }
+        "semijoin::reduce" => {
+            let tree = JoinTree::build(db.scheme()).expect("example 4 is acyclic");
+            mjoin_semijoin::try_full_reduce_with_stats(&db, &tree, 0, &guard).unwrap_err()
+        }
+        other => panic!("unmapped failpoint site {other}: extend this test"),
+    }
+}
+
+/// Every registered site, once armed, produces a typed internal error that
+/// names the site — from the layer that owns it, with no panic anywhere on
+/// the path. This loop is exhaustive over [`SITES`], so registering a new
+/// site without mapping it here fails the suite.
+#[test]
+fn every_registered_site_propagates_a_typed_error() {
+    let _serial = serialize();
+    for site in SITES {
+        let fp = ScopedFailpoint::arm(site);
+        let err = provoke(site);
+        assert!(
+            matches!(err, MjoinError::Internal(_)),
+            "{site}: expected Internal, got {err:?}"
+        );
+        assert!(
+            err.to_string().contains(site),
+            "{site}: message must name the site, got: {err}"
+        );
+        drop(fp);
+        assert!(
+            failpoints::armed().is_empty(),
+            "scoped failpoint must disarm on drop"
+        );
+    }
+}
+
+/// The ladder refuses to mask injected faults: a fault in a lower rung
+/// (greedy) propagates even though a budget error there would degrade.
+#[test]
+fn ladder_does_not_degrade_over_injected_faults() {
+    let _serial = serialize();
+    let db = db();
+    let _fp = ScopedFailpoint::arm("optimizer::greedy");
+    // Tiny memo cap pushes the ladder past exhaustive and DP down to
+    // greedy, where the injected fault must surface, not degrade.
+    let budget = Budget::unlimited().with_max_memo_entries(1);
+    let err = optimize_robust(&db, db.scheme().full_set(), SearchSpace::All, budget, None)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("optimizer::greedy"),
+        "expected the injected greedy fault, got: {err}"
+    );
+}
+
+/// Arming one site leaves every other site clean.
+#[test]
+fn sites_are_independent() {
+    let _serial = serialize();
+    let db = db();
+    let _fp = ScopedFailpoint::arm("semijoin::reduce");
+    let mut oracle = ExactOracle::new(&db);
+    let full = db.scheme().full_set();
+    assert!(oracle.try_tau(full).is_ok());
+    assert!(mjoin_optimizer::try_best_bushy(&mut oracle, full, &Guard::unlimited()).is_ok());
+}
+
+/// With no site armed, the whole guarded pipeline runs clean — the
+/// registry's fast path really is off.
+#[test]
+fn disarmed_registry_is_invisible() {
+    let _serial = serialize();
+    assert!(failpoints::armed().is_empty());
+    let db = db();
+    let r = optimize_robust(
+        &db,
+        db.scheme().full_set(),
+        SearchSpace::All,
+        Budget::unlimited(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(r.plan.cost, 11);
+}
+
+/// `MJOIN_FAIL_INJECT` arms sites at process start, comma-separated.
+#[test]
+fn env_var_arms_sites() {
+    let _serial = serialize();
+    std::env::set_var("MJOIN_FAIL_INJECT", "tests::env-a, tests::env-b");
+    let armed = failpoints::init_from_env();
+    std::env::remove_var("MJOIN_FAIL_INJECT");
+    assert_eq!(armed, vec!["tests::env-a".to_string(), "tests::env-b".to_string()]);
+    assert!(failpoints::hit("tests::env-a").is_err());
+    assert!(failpoints::hit("tests::env-b").is_err());
+    failpoints::disarm("tests::env-a");
+    failpoints::disarm("tests::env-b");
+    assert!(failpoints::hit("tests::env-a").is_ok());
+}

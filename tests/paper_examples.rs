@@ -13,7 +13,7 @@ use mjoin_gen::data;
 #[test]
 fn example1_c1_is_not_enough_when_unconnected() {
     let db = data::paper_example1();
-    let a = analyze(&db);
+    let a = analyze(&db).unwrap();
     assert!(!a.connected);
     assert!(a.conditions.c1);
     assert!(!a.conditions.c2);
@@ -37,9 +37,9 @@ fn example1_c1_is_not_enough_when_unconnected() {
 /// Example 2: the conditions `C1` and `C2` are logically independent.
 #[test]
 fn example2_conditions_are_independent() {
-    let a1 = analyze(&data::paper_example1());
+    let a1 = analyze(&data::paper_example1()).unwrap();
     assert!(a1.conditions.c1 && !a1.conditions.c2);
-    let a2 = analyze(&data::paper_example2());
+    let a2 = analyze(&data::paper_example2()).unwrap();
     assert!(!a2.conditions.c1 && a2.conditions.c2);
 }
 
@@ -48,7 +48,7 @@ fn example2_conditions_are_independent() {
 #[test]
 fn example3_theorem1_needs_strictness() {
     let db = data::paper_example3();
-    let a = analyze(&db);
+    let a = analyze(&db).unwrap();
     assert!(a.conditions.c1 && !a.conditions.c1_strict);
     assert!(!a.theorem1.preconditions_hold);
     assert!(!a.theorem1.conclusion_holds, "a CP-using linear optimum exists");
@@ -66,7 +66,7 @@ fn example3_theorem1_needs_strictness() {
 #[test]
 fn example4_theorem2_needs_c1() {
     let db = data::paper_example4();
-    let a = analyze(&db);
+    let a = analyze(&db).unwrap();
     assert!(a.conditions.c2 && !a.conditions.c1);
     assert!(!a.theorem2.conclusion_holds);
     let best = optimize_database(&db, SearchSpace::All).unwrap();
@@ -79,7 +79,7 @@ fn example4_theorem2_needs_c1() {
 #[test]
 fn example5_theorem3_needs_c3() {
     let db = data::paper_example5();
-    let a = analyze(&db);
+    let a = analyze(&db).unwrap();
     assert!(a.conditions.c1 && a.conditions.c2 && !a.conditions.c3);
     assert!(a.theorem2.preconditions_hold && a.theorem2.conclusion_holds);
     assert!(!a.theorem3.preconditions_hold && !a.theorem3.conclusion_holds);
@@ -111,7 +111,7 @@ fn safe_search_space_is_sound_across_examples() {
         data::paper_example4(),
         data::paper_example5(),
     ] {
-        let a = analyze(&db);
+        let a = analyze(&db).unwrap();
         let safe = optimize_database(&db, a.safe_search_space()).unwrap();
         let best = optimize_database(&db, SearchSpace::All).unwrap();
         assert_eq!(safe.cost, best.cost);

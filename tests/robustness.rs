@@ -1,0 +1,253 @@
+//! Robustness of the budgeted pipeline: hostile inputs under tight
+//! budgets, cancellation of long-running searches, and the guarantee that
+//! resource governance never changes an answer when it isn't binding.
+
+use std::time::{Duration, Instant};
+
+use mjoin::{
+    optimize_database_robust, try_greedy_bushy, try_optimize, Budget, CancelToken,
+    CardinalityOracle, Database, ExactOracle, Guard, MjoinError, Rung, SearchSpace,
+};
+use mjoin_gen::{data, data::DataConfig, schemes};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A clique join graph: `n` relations that all share attribute `X`, each
+/// with `2 · per_x` tuples spread over two `X` values. Every pair joins,
+/// and the join of any `k` of them has `2 · per_x^k` tuples — intermediate
+/// results grow geometrically, which is exactly what a budget must tame.
+fn clique_db(n: usize, per_x: i64) -> Database {
+    const NAMES: [&str; 14] = [
+        "XA", "XB", "XC", "XD", "XE", "XF", "XG", "XH", "XI", "XJ", "XK", "XL", "XM", "XN",
+    ];
+    assert!(n <= NAMES.len());
+    let specs: Vec<(&str, Vec<Vec<i64>>)> = NAMES[..n]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut rows = Vec::new();
+            for x in 0..2i64 {
+                for j in 0..per_x {
+                    rows.push(vec![x, 1000 + (i as i64) * 100 + x * 10 + j]);
+                }
+            }
+            (*name, rows)
+        })
+        .collect();
+    Database::from_specs(&specs).unwrap()
+}
+
+/// The ISSUE's acceptance scenario: a 14-relation clique under a 50 ms
+/// deadline. Exhaustive search is out (n > 7), the DP cannot finish, the
+/// exact oracle cannot even materialize the big intermediates — yet the
+/// ladder must hand back a valid covering strategy, promptly, with a
+/// report naming the rung that answered.
+#[test]
+fn hostile_clique_under_tight_deadline_returns_valid_plan() {
+    let db = clique_db(14, 4);
+    let budget = Budget::unlimited().with_deadline(Duration::from_millis(50));
+    let started = Instant::now();
+    let r = optimize_database_robust(&db, SearchSpace::All, budget, None).unwrap();
+    let elapsed = started.elapsed();
+
+    // No hang: the deadline is 50 ms; allow generous slack for slow CI.
+    assert!(elapsed < Duration::from_secs(10), "took {elapsed:?}");
+
+    // A valid strategy covering every relation, always.
+    assert_eq!(r.plan.strategy.set(), db.scheme().full_set());
+    assert!(r.plan.strategy.validate(db.scheme()));
+
+    // The report names the answering rung and explains the ones above it.
+    assert!(r.report.answered_by >= Rung::Dp, "{}", r.report);
+    assert!(!r.report.attempts.is_empty());
+    let text = r.report.to_string();
+    assert!(
+        text.contains(&r.report.answered_by.to_string()),
+        "report must name the rung: {text}"
+    );
+    assert!(
+        text.contains("enumeration cutoff"),
+        "exhaustive rung must be reported as skipped: {text}"
+    );
+}
+
+/// Same clique, but the binding limit is the intermediate-tuple cap: the
+/// optimizers' own materialization work trips it deterministically, and
+/// the ladder degrades instead of failing.
+#[test]
+fn hostile_clique_under_tuple_cap_degrades() {
+    let db = clique_db(14, 4);
+    let budget = Budget::unlimited().with_max_tuples(10_000);
+    let r = optimize_database_robust(&db, SearchSpace::All, budget, None).unwrap();
+    assert_eq!(r.plan.strategy.set(), db.scheme().full_set());
+    assert!(r.plan.strategy.validate(db.scheme()));
+    assert!(r.report.answered_by > Rung::Dp, "{}", r.report);
+    // Some rung above must have reported a budget trip, not a skip.
+    assert!(
+        r.report.attempts.iter().any(|a| a.outcome.contains("budget exceeded")),
+        "{}",
+        r.report
+    );
+}
+
+/// Cancellation from another thread interrupts a search that would
+/// otherwise run for a very long time (the 12-relation clique DP), and
+/// surfaces as `Cancelled` — not as a degraded answer and not as a hang.
+#[test]
+fn cancellation_interrupts_a_long_search() {
+    let db = clique_db(12, 4);
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            token.cancel();
+        })
+    };
+    let started = Instant::now();
+    let err = optimize_database_robust(&db, SearchSpace::All, Budget::unlimited(), Some(&token))
+        .unwrap_err();
+    canceller.join().unwrap();
+    assert_eq!(err, MjoinError::Cancelled);
+    assert!(started.elapsed() < Duration::from_secs(60));
+}
+
+/// The memo cap alone (no deadline) is deterministic: same input, same
+/// trip point, same rung, same strategy — run twice and compare.
+#[test]
+fn capped_runs_are_deterministic() {
+    let db = clique_db(10, 2);
+    let budget = Budget::unlimited().with_max_memo_entries(16);
+    let a = optimize_database_robust(&db, SearchSpace::All, budget, None).unwrap();
+    let b = optimize_database_robust(&db, SearchSpace::All, budget, None).unwrap();
+    assert_eq!(a.report.answered_by, b.report.answered_by);
+    assert!(a.plan.strategy.eq_unordered(&b.plan.strategy));
+    assert_eq!(a.plan.cost, b.plan.cost);
+}
+
+fn random_db(seed: u64, n: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (cat, scheme) = schemes::random_tree(n, &mut rng);
+    let cfg = DataConfig {
+        tuples_per_relation: 4,
+        domain: 4,
+        ensure_nonempty: true,
+    };
+    data::uniform(cat, scheme, &cfg, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property (a): however tight the budget, the ladder still returns a
+    /// valid strategy covering every relation.
+    #[test]
+    fn budget_exhausted_runs_still_cover_all_relations(
+        seed: u64,
+        n in 2usize..6,
+        cap in 1u64..16,
+    ) {
+        let db = random_db(seed, n);
+        let budget = Budget::unlimited()
+            .with_max_memo_entries(cap)
+            .with_max_tuples(cap);
+        let r = optimize_database_robust(&db, SearchSpace::All, budget, None).unwrap();
+        prop_assert_eq!(r.plan.strategy.set(), db.scheme().full_set());
+        prop_assert!(r.plan.strategy.validate(db.scheme()));
+    }
+
+    /// Property (b): with no budget pressure the ladder answers at an
+    /// optimal rung, so its cost is never worse than the greedy heuristic.
+    #[test]
+    fn ladder_never_worse_than_greedy(seed: u64, n in 2usize..6) {
+        let db = random_db(seed, n);
+        let r = optimize_database_robust(&db, SearchSpace::All, Budget::unlimited(), None)
+            .unwrap();
+        prop_assert!(r.report.optimal, "{}", r.report);
+        let mut oracle = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let greedy = try_greedy_bushy(&mut oracle, full, &Guard::unlimited()).unwrap();
+        prop_assert!(
+            r.plan.cost <= greedy.cost,
+            "ladder {} vs greedy {}",
+            r.plan.cost,
+            greedy.cost
+        );
+    }
+
+    /// Property (c): an unlimited guard (fault injection disabled) is
+    /// invisible — the guarded entry points return exactly what the legacy
+    /// unguarded ones do, in every search space.
+    #[test]
+    fn unlimited_guard_is_bit_identical_to_unguarded(seed: u64, n in 2usize..5) {
+        let db = random_db(seed, n);
+        let full = db.scheme().full_set();
+        for space in [
+            SearchSpace::All,
+            SearchSpace::Linear,
+            SearchSpace::NoCartesian,
+            SearchSpace::LinearNoCartesian,
+            SearchSpace::AvoidCartesian,
+        ] {
+            let mut legacy_oracle = ExactOracle::new(&db);
+            let legacy = mjoin::optimize(&mut legacy_oracle, full, space);
+            let mut guarded_oracle = ExactOracle::new(&db);
+            let guarded =
+                try_optimize(&mut guarded_oracle, full, space, &Guard::unlimited()).unwrap();
+            match (legacy, guarded) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.cost, b.cost, "{:?}", space);
+                    prop_assert_eq!(
+                        format!("{:?}", a.strategy),
+                        format!("{:?}", b.strategy),
+                        "{:?}",
+                        space
+                    );
+                }
+                (a, b) => prop_assert!(false, "{:?}: {:?} vs {:?}", space, a, b),
+            }
+        }
+        // And the oracles did the same materialization work.
+        prop_assert_eq!(
+            legacy_tau_profile(&db),
+            guarded_tau_profile(&db)
+        );
+    }
+}
+
+/// Every subset's τ via the legacy infallible surface.
+fn legacy_tau_profile(db: &Database) -> Vec<u64> {
+    let mut oracle = ExactOracle::new(db);
+    subsets(db).into_iter().map(|s| oracle.tau(s)).collect()
+}
+
+/// Every subset's τ via the guarded surface under an unlimited guard.
+fn guarded_tau_profile(db: &Database) -> Vec<u64> {
+    let mut oracle = ExactOracle::with_guard(db, Guard::unlimited());
+    subsets(db)
+        .into_iter()
+        .map(|s| oracle.try_tau(s).unwrap())
+        .collect()
+}
+
+fn subsets(db: &Database) -> Vec<mjoin::RelSet> {
+    let n = db.scheme().len();
+    (1u32..(1 << n))
+        .map(|bits| {
+            mjoin::RelSet::from_indices((0..n).filter(move |&i| bits & (1u32 << i) != 0))
+        })
+        .collect()
+}
+
+/// The façade's Result conversion keeps the analysis itself unchanged: an
+/// unlimited guard produces the same `Analysis` as the plain entry point.
+#[test]
+fn guarded_facade_matches_unguarded_on_paper_examples() {
+    for db in [data::paper_example4(), data::paper_example5()] {
+        let plain = mjoin::analyze(&db).unwrap();
+        let guarded = mjoin::analyze_guarded(&db, &Guard::unlimited()).unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{guarded:?}"));
+    }
+}
