@@ -34,8 +34,10 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use mjoin::{
-    analyze_guarded, failpoints, optimize_database_robust, try_optimize, Budget, Condition,
-    Database, ExactOracle, Guard, SearchSpace, Strategy, Value,
+    analyze_guarded, failpoints, optimize_database_robust_threaded,
+    try_best_avoid_cartesian_parallel, try_best_no_cartesian_parallel, try_optimize, Budget,
+    Condition, Database, DpAlgorithm, ExactOracle, Guard, SearchSpace, SharedOracle, Strategy,
+    Value,
 };
 use mjoin_fd::FdSet;
 use mjoin_hypergraph::{DbScheme, JoinTree};
@@ -196,6 +198,8 @@ pub struct GuardOptions {
     pub max_tuples: Option<u64>,
     /// Fault-injection sites to arm (`--fail-inject a,b`).
     pub fail_inject: Vec<String>,
+    /// Worker threads for plan search (`--threads N`).
+    pub threads: Option<usize>,
 }
 
 impl GuardOptions {
@@ -217,6 +221,17 @@ impl GuardOptions {
             b = b.with_max_tuples(n);
         }
         b
+    }
+
+    /// The effective worker-thread count: the `--threads` flag, else the
+    /// `MJOIN_THREADS` environment variable, else 1. At 1 every code path
+    /// is the sequential one, so output is byte-identical to builds that
+    /// predate the flag.
+    pub fn threads(&self) -> usize {
+        self.threads
+            .or_else(|| std::env::var("MJOIN_THREADS").ok()?.parse().ok())
+            .unwrap_or(1)
+            .max(1)
     }
 }
 
@@ -244,6 +259,13 @@ pub fn parse_guard_flags(args: &[String]) -> Result<(Vec<String>, GuardOptions),
         };
         match flag {
             "--timeout-ms" => opts.timeout_ms = Some(parse_u64(value(&mut it)?)?),
+            "--threads" => {
+                let n = parse_u64(value(&mut it)?)?;
+                if n == 0 {
+                    return err("flag --threads: thread count must be ≥ 1");
+                }
+                opts.threads = Some(n as usize);
+            }
             "--max-memo-entries" => opts.max_memo_entries = Some(parse_u64(value(&mut it)?)?),
             "--max-tuples" => opts.max_tuples = Some(parse_u64(value(&mut it)?)?),
             "--fail-inject" => {
@@ -311,6 +333,7 @@ where
                  --timeout-ms N            wall-clock deadline; optimize degrades gracefully\n\
                  --max-memo-entries N      cap on memoized intermediate results\n\
                  --max-tuples N            cap on intermediate tuples generated\n\
+                 --threads N               worker threads for plan search (default: $MJOIN_THREADS or 1)\n\
                  --fail-inject SITE[,..]   arm deterministic fault injection (testing)";
     let (args, gopts) = parse_guard_flags(args)?;
     let Some(command) = args.first() else {
@@ -391,10 +414,14 @@ where
                 Some(s) => parse_space(s)?,
                 None => SearchSpace::All,
             };
+            let threads = gopts.threads();
             if gopts.is_limited() {
                 // Budgeted mode: the degradation ladder always answers with
                 // some valid strategy and reports which rung produced it.
-                let r = optimize_database_robust(db, space, budget, None).map_err(fail)?;
+                // (`optimize_database_robust_threaded` at 1 thread *is* the
+                // sequential ladder.)
+                let r = optimize_database_robust_threaded(db, space, budget, None, threads)
+                    .map_err(fail)?;
                 let _ = writeln!(out, "search space: {space:?}");
                 let _ = writeln!(
                     out,
@@ -407,6 +434,44 @@ where
                     let _ = writeln!(out, "τ = {}", r.plan.cost);
                 }
                 let _ = writeln!(out, "degradation: {}", r.report);
+            } else if threads > 1 {
+                // Multi-core search over one shared memo: level-parallel DP
+                // for the product-free spaces, sequential DP over the shared
+                // oracle for the rest.
+                let shared =
+                    SharedOracle::with_guard(db, guard.clone()).with_join_threads(threads);
+                let full = db.scheme().full_set();
+                let plan = match space {
+                    SearchSpace::NoCartesian => try_best_no_cartesian_parallel(
+                        &shared,
+                        full,
+                        DpAlgorithm::DpCcp,
+                        &guard,
+                        threads,
+                    ),
+                    SearchSpace::AvoidCartesian => try_best_avoid_cartesian_parallel(
+                        &shared,
+                        full,
+                        DpAlgorithm::DpCcp,
+                        &guard,
+                        threads,
+                    ),
+                    _ => try_optimize(&mut shared.handle(), full, space, &guard),
+                }
+                .map_err(fail)?;
+                match plan {
+                    Some(plan) => {
+                        let _ = writeln!(out, "search space: {space:?}");
+                        let _ =
+                            writeln!(out, "{}", plan.explain(db.catalog(), &mut shared.handle()));
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "search space {space:?} is empty for this (unconnected) scheme"
+                        );
+                    }
+                }
             } else {
                 let mut oracle = ExactOracle::with_guard(db, guard.clone());
                 match try_optimize(&mut oracle, db.scheme().full_set(), space, &guard)
@@ -741,6 +806,67 @@ Lang22 Chomsky
         assert!(out.contains("1.27× worse"), "{out}");
         let opt = run_ok(&["cost", "db.mj", "(GS ⋈ CL) ⋈ SC"]);
         assert!(opt.contains("τ-optimum"), "{opt}");
+    }
+
+    #[test]
+    fn threads_one_output_is_identical_to_default() {
+        // `--threads 1` pins every code path to the sequential one, so its
+        // output must match the legacy expectations exactly.
+        let all = run_ok(&["optimize", "db.mj", "--threads", "1"]);
+        assert!(all.contains("τ = 6 + 5 = 11"), "{all}");
+        let nocp = run_ok(&["optimize", "db.mj", "nocp", "--threads", "1"]);
+        assert!(nocp.contains("= 12"), "{nocp}");
+        // And when the environment doesn't override the default, flagless
+        // output is byte-identical to `--threads 1`. (Skipped under
+        // MJOIN_THREADS, where the default is intentionally parallel —
+        // CI's 2-thread suite run.)
+        if std::env::var("MJOIN_THREADS").is_err() {
+            for space in [None, Some("nocp"), Some("linear"), Some("avoid")] {
+                let mut base = vec!["optimize", "db.mj"];
+                if let Some(s) = space {
+                    base.push(s);
+                }
+                let mut flagged = base.clone();
+                flagged.extend(["--threads", "1"]);
+                assert_eq!(run_ok(&base), run_ok(&flagged), "{space:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn threads_two_finds_the_same_cost() {
+        let seq = run_ok(&["optimize", "db.mj"]);
+        let par = run_ok(&["optimize", "db.mj", "--threads", "2"]);
+        assert!(par.contains("τ = 6 + 5 = 11"), "{par}");
+        assert!(seq.contains("τ = 6 + 5 = 11"), "{seq}");
+        let nocp = run_ok(&["optimize", "db.mj", "nocp", "--threads", "4"]);
+        assert!(nocp.contains("= 12"), "{nocp}");
+    }
+
+    #[test]
+    fn threads_flag_reaches_the_budgeted_ladder() {
+        let out = run_ok(&[
+            "optimize",
+            "db.mj",
+            "--timeout-ms",
+            "60000",
+            "--threads",
+            "2",
+        ]);
+        assert!(out.contains("degradation: answered by"), "{out}");
+        assert!(out.contains("τ = 11"), "{out}");
+    }
+
+    #[test]
+    fn threads_flag_rejects_zero_and_garbage() {
+        for bad in [&["optimize", "db.mj", "--threads", "0"][..],
+                    &["optimize", "db.mj", "--threads", "lots"][..]] {
+            assert!(run(
+                &bad.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+                fake_fs
+            )
+            .is_err());
+        }
     }
 
     #[test]

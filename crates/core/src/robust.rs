@@ -27,13 +27,14 @@
 use std::fmt;
 use std::time::Instant;
 
-use mjoin_cost::{CardinalityOracle, Database, ExactOracle};
+use mjoin_cost::{CardinalityOracle, Database, ExactOracle, SharedOracle};
 use mjoin_guard::{failpoints, Budget, CancelToken, Guard, MjoinError};
 use mjoin_hypergraph::RelSet;
 use mjoin_optimizer::{
-    try_greedy_bushy, try_greedy_linear, try_optimize, Plan, SearchSpace,
+    try_best_avoid_cartesian_parallel, try_best_no_cartesian_parallel, try_greedy_bushy,
+    try_greedy_linear, try_optimize, DpAlgorithm, Plan, SearchSpace,
 };
-use mjoin_strategy::{try_for_each_strategy, Strategy};
+use mjoin_strategy::{try_best_strategy_parallel, try_for_each_strategy, Strategy};
 
 /// Largest subset the exhaustive rung will attempt: `(2·7 − 3)!! = 10 395`
 /// strategies is instant, one more relation is 13× that.
@@ -341,6 +342,201 @@ fn exhaustive_rung(
     Ok(best)
 }
 
+/// [`optimize_robust`] with a worker pool.
+///
+/// Every rung that can fan out does: exhaustive enumeration chunks the
+/// top-level splits across `threads` scoped workers
+/// ([`try_best_strategy_parallel`]), the product-free DP runs each
+/// subset-size level in parallel ([`try_best_no_cartesian_parallel`], DPccp
+/// enumeration), and materialization inside the shared oracle uses the
+/// partitioned parallel hash join. All rungs share one [`SharedOracle`]
+/// memo, re-armed with each rung's budget slice, so intermediates survive
+/// degradation. `threads <= 1` delegates to the sequential ladder —
+/// single-threaded behaviour is unchanged, byte for byte.
+///
+/// Each parallel rung is deterministic in itself: the same rung at the same
+/// thread count ≥ 1 always returns bit-identical plans and costs. (The DP
+/// rung enumerates with DPccp where the sequential ladder uses DPsub; the
+/// two styles always agree on cost, and may tie-break equal-cost plans
+/// differently.)
+pub fn optimize_robust_threaded(
+    db: &Database,
+    subset: RelSet,
+    space: SearchSpace,
+    budget: Budget,
+    cancel: Option<&CancelToken>,
+    threads: usize,
+) -> Result<RobustPlan, MjoinError> {
+    if threads <= 1 {
+        return optimize_robust(db, subset, space, budget, cancel);
+    }
+    failpoints::hit("core::ladder")?;
+    if subset.is_empty() {
+        return Err(MjoinError::InvalidScheme(
+            "cannot optimize the empty database".into(),
+        ));
+    }
+    let started = Instant::now();
+    let mut attempts: Vec<RungAttempt> = Vec::new();
+    let mut oracle = SharedOracle::new(db).with_join_threads(threads);
+    let scheme = db.scheme().clone();
+
+    // Rung 1: parallel exhaustive enumeration (small subsets only).
+    if subset.len() > EXHAUSTIVE_MAX_RELS {
+        attempts.push(RungAttempt {
+            rung: Rung::Exhaustive,
+            outcome: format!(
+                "skipped: {} relations exceed the {}-relation enumeration cutoff",
+                subset.len(),
+                EXHAUSTIVE_MAX_RELS
+            ),
+        });
+    } else {
+        match rung_budget(&budget, started, 1, 4) {
+            None => attempts.push(RungAttempt {
+                rung: Rung::Exhaustive,
+                outcome: "skipped: deadline already exhausted".into(),
+            }),
+            Some(b) => {
+                let guard = rung_guard(b, cancel);
+                oracle.rearm(guard.clone());
+                let result = failpoints::hit("optimizer::exhaustive").and_then(|()| {
+                    try_best_strategy_parallel(&oracle, subset, &guard, threads, &|s| {
+                        in_space(s, space, &scheme)
+                    })
+                });
+                match result {
+                    Ok(Some((strategy, cost))) => {
+                        return Ok(RobustPlan {
+                            plan: Plan { strategy, cost },
+                            report: DegradationReport::clean(Rung::Exhaustive, attempts),
+                        })
+                    }
+                    Ok(None) => attempts.push(RungAttempt {
+                        rung: Rung::Exhaustive,
+                        outcome: format!("search space {space:?} is empty for this scheme"),
+                    }),
+                    Err(e) if degradable(&e) => attempts.push(RungAttempt {
+                        rung: Rung::Exhaustive,
+                        outcome: e.to_string(),
+                    }),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    // Rung 2: the space's DP — level-parallel for the product-free spaces,
+    // sequential over the shared memo for the rest.
+    match rung_budget(&budget, started, 1, 2) {
+        None => attempts.push(RungAttempt {
+            rung: Rung::Dp,
+            outcome: "skipped: deadline already exhausted".into(),
+        }),
+        Some(b) => {
+            let guard = rung_guard(b, cancel);
+            oracle.rearm(guard.clone());
+            let result = match space {
+                SearchSpace::NoCartesian => try_best_no_cartesian_parallel(
+                    &oracle,
+                    subset,
+                    DpAlgorithm::DpCcp,
+                    &guard,
+                    threads,
+                ),
+                SearchSpace::AvoidCartesian => try_best_avoid_cartesian_parallel(
+                    &oracle,
+                    subset,
+                    DpAlgorithm::DpCcp,
+                    &guard,
+                    threads,
+                ),
+                _ => try_optimize(&mut oracle.handle(), subset, space, &guard),
+            };
+            match result {
+                Ok(Some(plan)) => {
+                    return Ok(RobustPlan {
+                        plan,
+                        report: DegradationReport::clean(Rung::Dp, attempts),
+                    })
+                }
+                Ok(None) => attempts.push(RungAttempt {
+                    rung: Rung::Dp,
+                    outcome: format!("search space {space:?} is empty for this scheme"),
+                }),
+                Err(e) if degradable(&e) => attempts.push(RungAttempt {
+                    rung: Rung::Dp,
+                    outcome: e.to_string(),
+                }),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Rung 3: greedy — inherently sequential, but it reads the shared memo
+    // the parallel rungs populated.
+    let linear_space = matches!(
+        space,
+        SearchSpace::Linear | SearchSpace::LinearNoCartesian
+    );
+    match rung_budget(&budget, started, 1, 1) {
+        None => attempts.push(RungAttempt {
+            rung: Rung::Greedy,
+            outcome: "skipped: deadline already exhausted".into(),
+        }),
+        Some(b) => {
+            let guard = rung_guard(b, cancel);
+            oracle.rearm(guard.clone());
+            let mut handle = oracle.handle();
+            let result = if linear_space {
+                try_greedy_linear(&mut handle, subset, &guard)
+            } else {
+                try_greedy_bushy(&mut handle, subset, &guard)
+            };
+            match result {
+                Ok(plan) => {
+                    let relaxed = !in_space(&plan.strategy, space, &scheme);
+                    let mut report = DegradationReport::clean(Rung::Greedy, attempts);
+                    report.space_relaxed = relaxed;
+                    return Ok(RobustPlan { plan, report });
+                }
+                Err(e) if degradable(&e) => attempts.push(RungAttempt {
+                    rung: Rung::Greedy,
+                    outcome: e.to_string(),
+                }),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // Rung 4: index-order left-deep, costed best-effort.
+    let order: Vec<usize> = subset.iter().collect();
+    let strategy = Strategy::left_deep(&order);
+    let cost = match rung_budget(&budget, started, 1, 1) {
+        None => u64::MAX,
+        Some(b) => {
+            let guard = rung_guard(b, cancel);
+            oracle.rearm(guard.clone());
+            strategy.try_cost(&mut oracle.handle()).unwrap_or(u64::MAX)
+        }
+    };
+    Ok(RobustPlan {
+        plan: Plan { strategy, cost },
+        report: DegradationReport::clean(Rung::Fallback, attempts),
+    })
+}
+
+/// [`optimize_robust_threaded`] over a whole database.
+pub fn optimize_database_robust_threaded(
+    db: &Database,
+    space: SearchSpace,
+    budget: Budget,
+    cancel: Option<&CancelToken>,
+    threads: usize,
+) -> Result<RobustPlan, MjoinError> {
+    optimize_robust_threaded(db, db.scheme().full_set(), space, budget, cancel, threads)
+}
+
 /// [`optimize_robust`] over a whole database.
 pub fn optimize_database_robust(
     db: &Database,
@@ -406,6 +602,83 @@ mod tests {
         let err = optimize_database_robust(&db, SearchSpace::All, Budget::unlimited(), None)
             .unwrap_err();
         assert!(err.to_string().contains("injected fault"), "{err}");
+    }
+
+    #[test]
+    fn threaded_ladder_matches_sequential_cost() {
+        let db = data::paper_example4();
+        let seq = optimize_database_robust(&db, SearchSpace::All, Budget::unlimited(), None)
+            .unwrap();
+        for threads in [1, 2, 4] {
+            let par = optimize_database_robust_threaded(
+                &db,
+                SearchSpace::All,
+                Budget::unlimited(),
+                None,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(par.report.answered_by, Rung::Exhaustive, "{threads} threads");
+            assert_eq!(par.plan.cost, seq.plan.cost, "{threads} threads");
+            assert_eq!(
+                par.plan.strategy.canonical(),
+                seq.plan.strategy.canonical(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_ladder_is_thread_count_invariant_per_rung() {
+        // Force the exhaustive rung out of the picture so the parallel DP
+        // answers, then check it agrees with itself at every thread count.
+        let db = data::paper_example5();
+        let two = optimize_database_robust_threaded(
+            &db,
+            SearchSpace::NoCartesian,
+            Budget::unlimited(),
+            None,
+            2,
+        )
+        .unwrap();
+        let four = optimize_database_robust_threaded(
+            &db,
+            SearchSpace::NoCartesian,
+            Budget::unlimited(),
+            None,
+            4,
+        )
+        .unwrap();
+        assert_eq!(two.plan.cost, four.plan.cost);
+        assert_eq!(two.plan.strategy, four.plan.strategy);
+        assert_eq!(two.report.answered_by, four.report.answered_by);
+    }
+
+    #[test]
+    fn threaded_ladder_degrades_like_sequential() {
+        let db = data::paper_example5();
+        let budget = Budget::unlimited().with_max_memo_entries(1);
+        let r = optimize_database_robust_threaded(&db, SearchSpace::All, budget, None, 4)
+            .unwrap();
+        assert!(r.report.answered_by > Rung::Dp, "{}", r.report);
+        assert_eq!(r.plan.strategy.set(), db.scheme().full_set());
+        assert!(r.plan.strategy.validate(db.scheme()));
+    }
+
+    #[test]
+    fn threaded_ladder_propagates_cancellation() {
+        let db = data::paper_example5();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = optimize_database_robust_threaded(
+            &db,
+            SearchSpace::All,
+            Budget::unlimited(),
+            Some(&token),
+            4,
+        )
+        .unwrap_err();
+        assert_eq!(err, MjoinError::Cancelled);
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Thread-count invariance of the parallel plan searches.
+//!
+//! The multi-core DPs and the parallel exhaustive enumeration promise
+//! bit-identical plans and costs at any thread count. These tests hold
+//! them to it over randomized schemes and states — and check that a
+//! tripping budget produces the *same typed error* no matter how many
+//! workers were running when it tripped.
+
+use mjoin::{
+    try_best_no_cartesian_parallel, try_best_strategy_parallel, Budget, Database, DpAlgorithm,
+    Guard, SharedOracle, Strategy,
+};
+use mjoin_gen::{data, schemes};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random connected database with `n` relations, deterministic in `seed`.
+fn random_db(n: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let extra = rng.gen_range(0..=2);
+    let (cat, scheme) = schemes::random_connected(n, extra, &mut rng);
+    data::uniform(cat, scheme, &data::DataConfig::default(), &mut rng)
+}
+
+#[test]
+fn parallel_dps_are_thread_count_invariant() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD5);
+        let n = rng.gen_range(4..=8);
+        let db = random_db(n, seed);
+        let subset = db.scheme().full_set();
+        for algorithm in [DpAlgorithm::DpSize, DpAlgorithm::DpCcp] {
+            let run = |threads: usize| {
+                let oracle = SharedOracle::new(&db);
+                try_best_no_cartesian_parallel(
+                    &oracle,
+                    subset,
+                    algorithm,
+                    &Guard::unlimited(),
+                    threads,
+                )
+                .unwrap()
+            };
+            let base = run(1);
+            for threads in [2, 4] {
+                let got = run(threads);
+                match (&base, &got) {
+                    (None, None) => {}
+                    (Some(b), Some(g)) => {
+                        assert_eq!(g.cost, b.cost, "seed {seed} {algorithm:?} x{threads}");
+                        assert_eq!(
+                            g.strategy, b.strategy,
+                            "seed {seed} {algorithm:?} x{threads}"
+                        );
+                    }
+                    _ => panic!("seed {seed} {algorithm:?} x{threads}: Some/None mismatch"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_exhaustive_is_thread_count_invariant() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE7);
+        let n = rng.gen_range(4..=6);
+        let db = random_db(n, seed.wrapping_add(100));
+        let subset = db.scheme().full_set();
+        let scheme = db.scheme().clone();
+        type Accept = Box<dyn Fn(&Strategy) -> bool + Sync>;
+        let filters: [(&str, Accept); 3] = [
+            ("all", Box::new(|_: &Strategy| true)),
+            ("linear", Box::new(|s: &Strategy| s.is_linear())),
+            (
+                "product-free",
+                Box::new(move |s: &Strategy| !s.uses_cartesian(&scheme)),
+            ),
+        ];
+        for (name, accept) in &filters {
+            let run = |threads: usize| {
+                let oracle = SharedOracle::new(&db);
+                try_best_strategy_parallel(
+                    &oracle,
+                    subset,
+                    &Guard::unlimited(),
+                    threads,
+                    accept.as_ref(),
+                )
+                .unwrap()
+            };
+            let base = run(1);
+            for threads in [2, 4] {
+                let got = run(threads);
+                assert_eq!(got, base, "seed {seed} filter {name} x{threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_and_dp_agree_on_the_product_free_optimum() {
+    // Cross-check the two parallel searches against each other: the
+    // cheapest product-free strategy found by enumeration must cost exactly
+    // what the product-free DP reports.
+    for seed in 0..3u64 {
+        let db = random_db(5, seed.wrapping_add(40));
+        let subset = db.scheme().full_set();
+        let scheme = db.scheme().clone();
+        let oracle = SharedOracle::new(&db);
+        let dp = try_best_no_cartesian_parallel(
+            &oracle,
+            subset,
+            DpAlgorithm::DpCcp,
+            &Guard::unlimited(),
+            4,
+        )
+        .unwrap();
+        let exhaustive = try_best_strategy_parallel(
+            &oracle,
+            subset,
+            &Guard::unlimited(),
+            4,
+            &|s: &Strategy| !s.uses_cartesian(&scheme),
+        )
+        .unwrap();
+        match (dp, exhaustive) {
+            (Some(p), Some((_, c))) => assert_eq!(p.cost, c, "seed {seed}"),
+            (None, None) => {}
+            _ => panic!("seed {seed}: DP and enumeration disagree on emptiness"),
+        }
+    }
+}
+
+#[test]
+fn tripping_budgets_error_identically_at_every_thread_count() {
+    let db = random_db(6, 7);
+    let subset = db.scheme().full_set();
+    // A memo cap the exact oracle must blow through while materializing.
+    let budget = Budget::unlimited().with_max_memo_entries(2);
+
+    let dp_err = |threads: usize| {
+        let guard = Guard::new(budget);
+        let oracle = SharedOracle::with_guard(&db, guard.clone());
+        try_best_no_cartesian_parallel(&oracle, subset, DpAlgorithm::DpCcp, &guard, threads)
+            .unwrap_err()
+    };
+    let base = dp_err(1);
+    for threads in [2, 4] {
+        assert_eq!(dp_err(threads), base, "DP error at {threads} threads");
+    }
+
+    let enum_err = |threads: usize| {
+        let guard = Guard::new(budget);
+        let oracle = SharedOracle::with_guard(&db, guard.clone());
+        try_best_strategy_parallel(&oracle, subset, &guard, threads, &|_: &Strategy| true)
+            .unwrap_err()
+    };
+    let base = enum_err(1);
+    for threads in [2, 4] {
+        assert_eq!(enum_err(threads), base, "enumeration error at {threads} threads");
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`ExactOracle`] — materializes every requested intermediate join once
 //!   (memoized by scheme subset) and reports exact tuple counts. This is
 //!   the ground truth the theorems are stated over;
+//! * [`SharedOracle`] — the exact oracle behind a sharded `RwLock` memo of
+//!   `Arc<Relation>` intermediates; `Sync`, so a worker pool can drive one
+//!   memo (and charge one guard) from many threads. [`SharedHandle`] adapts
+//!   it back to the sequential [`CardinalityOracle`] surface;
 //! * [`SyntheticOracle`] — a closed-form cardinality model (uniformity +
 //!   independence + per-attribute domains) for experiments on queries far
 //!   too large to materialize. The paper explicitly distrusts these
@@ -22,6 +26,8 @@
 
 mod database;
 mod oracle;
+mod shared;
 
 pub use database::Database;
 pub use oracle::{CardinalityOracle, ExactOracle, SyntheticOracle};
+pub use shared::{SharedHandle, SharedOracle, SyncCardinalityOracle};

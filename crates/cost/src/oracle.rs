@@ -1,6 +1,7 @@
 //! Cardinality oracles: the map `D′ ↦ τ(R_{D′})`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::{DbScheme, RelSet};
@@ -56,7 +57,7 @@ pub trait CardinalityOracle {
 pub struct ExactOracle<'a> {
     db: &'a Database,
     memo_enabled: bool,
-    memo: HashMap<RelSet, Relation>,
+    memo: HashMap<RelSet, Arc<Relation>>,
     guard: Guard,
     /// First budget/cancel/fault error observed; once set, fallible paths
     /// keep returning it and infallible paths saturate (`τ = u64::MAX`)
@@ -124,14 +125,17 @@ impl<'a> ExactOracle<'a> {
     /// Legacy infallible surface: panics if the guard trips mid-call, so
     /// only use it with an unlimited guard — budget-aware callers use
     /// [`try_relation`](Self::try_relation).
-    pub fn relation(&mut self, subset: RelSet) -> Relation {
+    pub fn relation(&mut self, subset: RelSet) -> Arc<Relation> {
         self.try_relation(subset)
             .expect("materialization failed under an unlimited guard")
     }
 
     /// The materialized relation `R_{D′}` (memoized), with all join output
     /// and memo growth charged to the oracle's guard.
-    pub fn try_relation(&mut self, subset: RelSet) -> Result<Relation, MjoinError> {
+    ///
+    /// Returns a shared handle to the memo entry — a memo hit clones the
+    /// `Arc`, never the tuples.
+    pub fn try_relation(&mut self, subset: RelSet) -> Result<Arc<Relation>, MjoinError> {
         if let Some(e) = &self.tripped {
             return Err(e.clone());
         }
@@ -147,7 +151,7 @@ impl<'a> ExactOracle<'a> {
         }
     }
 
-    fn try_relation_inner(&mut self, subset: RelSet) -> Result<Relation, MjoinError> {
+    fn try_relation_inner(&mut self, subset: RelSet) -> Result<Arc<Relation>, MjoinError> {
         if subset.is_empty() {
             return Err(MjoinError::InvalidScheme(
                 "τ is defined for nonempty subsets".into(),
@@ -155,13 +159,13 @@ impl<'a> ExactOracle<'a> {
         }
         failpoints::hit("cost::materialize")?;
         if let Some(r) = self.memo.get(&subset) {
-            return Ok(r.clone());
+            return Ok(Arc::clone(r));
         }
         let result = if subset.is_singleton() {
             let Some(lowest) = subset.first() else {
                 return Err(MjoinError::Internal("singleton with no member".into()));
             };
-            self.db.state(lowest).clone()
+            Arc::new(self.db.state(lowest).clone())
         } else {
             // Split off the lowest member; reuse the memoized rest.
             let Some(lowest) = subset.first() else {
@@ -169,11 +173,15 @@ impl<'a> ExactOracle<'a> {
             };
             let rest = subset.difference(RelSet::singleton(lowest));
             let rest_rel = self.try_relation_inner(rest)?;
-            rest_rel.natural_join_guarded(self.db.state(lowest), JoinAlgorithm::Hash, &self.guard)?
+            Arc::new(rest_rel.natural_join_guarded(
+                self.db.state(lowest),
+                JoinAlgorithm::Hash,
+                &self.guard,
+            )?)
         };
         if self.memo_enabled {
             self.guard.charge_memo(1)?;
-            self.memo.insert(subset, result.clone());
+            self.memo.insert(subset, Arc::clone(&result));
         }
         Ok(result)
     }
@@ -312,14 +320,13 @@ impl SyntheticOracle {
     fn domain(&self, attr_index: usize) -> u64 {
         *self.domains.get(&attr_index).unwrap_or(&self.default_domain)
     }
-}
 
-impl CardinalityOracle for SyntheticOracle {
-    fn scheme(&self) -> &DbScheme {
-        &self.scheme
-    }
-
-    fn tau(&mut self, subset: RelSet) -> u64 {
+    /// The closed-form estimate, computable through a shared reference —
+    /// the model is pure, so parallel plan-search workers can consult one
+    /// instance concurrently (see [`SyncCardinalityOracle`]).
+    ///
+    /// [`SyncCardinalityOracle`]: crate::SyncCardinalityOracle
+    pub fn estimate(&self, subset: RelSet) -> u64 {
         assert!(!subset.is_empty(), "τ is defined for nonempty subsets");
         // Work in log space to avoid overflow, then clamp. Accumulation
         // order is fixed (ascending relation index, then ascending
@@ -350,6 +357,16 @@ impl CardinalityOracle for SyntheticOracle {
         } else {
             (log_size.exp().round() as u64).max(1)
         }
+    }
+}
+
+impl CardinalityOracle for SyntheticOracle {
+    fn scheme(&self) -> &DbScheme {
+        &self.scheme
+    }
+
+    fn tau(&mut self, subset: RelSet) -> u64 {
+        self.estimate(subset)
     }
 }
 
@@ -394,6 +411,30 @@ mod tests {
         let mut o2 = ExactOracle::without_memo(&db);
         assert_eq!(o2.tau(full), t1);
         assert_eq!(o2.memo_len(), 0);
+    }
+
+    #[test]
+    fn memo_hits_share_one_materialization() {
+        // Regression: memo hits used to clone the full `Relation` (O(|R|)
+        // per τ lookup). They must now hand back the same `Arc` allocation.
+        let db = chain_db();
+        let mut o = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        let r1 = o.try_relation(full).unwrap();
+        let len = o.memo_len();
+        let r2 = o.try_relation(full).unwrap();
+        assert!(
+            Arc::ptr_eq(&r1, &r2),
+            "memo hit must return the memoized allocation, not a tuple copy"
+        );
+        assert_eq!(o.memo_len(), len);
+        // Repeated τ lookups touch neither the memo nor the tuples.
+        for _ in 0..8 {
+            o.tau(full);
+        }
+        assert_eq!(o.memo_len(), len);
+        let r3 = o.try_relation(full).unwrap();
+        assert!(Arc::ptr_eq(&r1, &r3));
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! Thread-safe cardinality oracles for multi-core plan search.
+//!
+//! The sequential [`CardinalityOracle`] takes `&mut self` — fine for one
+//! optimizer thread, useless for a worker pool. This module adds the
+//! shared-reference counterpart:
+//!
+//! * [`SyncCardinalityOracle`] — `τ` through `&self`, required `Sync`;
+//! * [`SharedOracle`] — the exact oracle behind a **sharded `RwLock` memo**
+//!   of `Arc<Relation>` intermediates, chargeable to one [`Guard`] from any
+//!   number of threads (the guard's counters are atomic);
+//! * [`SharedHandle`] — a zero-cost adapter so sequential code written
+//!   against `CardinalityOracle` (greedy, the top-down DP, plan explains)
+//!   can run over a shared oracle and see the same memo.
+//!
+//! Concurrency model: a memo miss may be computed by more than one worker
+//! at the same time; whoever wins the shard's write lock inserts, the
+//! loser's identical result is dropped and the winner's `Arc` handed back.
+//! Joins are deterministic and canonical (tuples sorted + deduped), so the
+//! duplicate compute wastes a little work but can never produce divergent
+//! values — `τ(D′)` is a pure function of the database. Memo growth is
+//! charged exactly once per distinct subset (under the write lock), so
+//! memo-entry budgets trip identically at any thread count.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use mjoin_guard::{failpoints, Guard, MjoinError};
+use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_relation::{JoinAlgorithm, Relation};
+
+use crate::database::Database;
+use crate::oracle::{CardinalityOracle, SyntheticOracle};
+
+/// Reports `τ(R_{D′})` through a shared reference.
+///
+/// The `Sync` bound is the point: parallel plan-search workers hold `&O`
+/// across threads. Implementations must be deterministic — the same subset
+/// must always report the same count, or parallel and sequential searches
+/// could pick different plans.
+pub trait SyncCardinalityOracle: Sync {
+    /// The database scheme the oracle speaks about.
+    fn scheme(&self) -> &DbScheme;
+
+    /// `τ(R_{D′})` for a nonempty subset `D′`, budget-aware.
+    fn try_tau(&self, subset: RelSet) -> Result<u64, MjoinError>;
+
+    /// `τ` of the join of two disjoint subsets, `τ(R_{D₁} ⋈ R_{D₂})`.
+    fn try_tau_join(&self, d1: RelSet, d2: RelSet) -> Result<u64, MjoinError> {
+        debug_assert!(d1.is_disjoint(d2));
+        self.try_tau(d1.union(d2))
+    }
+}
+
+/// The closed-form model is pure, so it is trivially shareable.
+impl SyncCardinalityOracle for SyntheticOracle {
+    fn scheme(&self) -> &DbScheme {
+        CardinalityOracle::scheme(self)
+    }
+
+    fn try_tau(&self, subset: RelSet) -> Result<u64, MjoinError> {
+        Ok(self.estimate(subset))
+    }
+}
+
+/// Number of independent memo shards. Spreading subsets over shards keeps
+/// write-lock contention off the hot read path; 16 is plenty for the small
+/// worker pools `std::thread::scope` runs here.
+const SHARD_COUNT: usize = 16;
+
+/// Fibonacci spread of the subset bits over the shards — adjacent subsets
+/// (which DP levels touch together) land on different shards.
+fn shard_of(subset: RelSet) -> usize {
+    (subset.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % SHARD_COUNT
+}
+
+/// Exact, memoizing cardinality oracle shareable across threads.
+///
+/// Semantically identical to [`ExactOracle`](crate::ExactOracle) — same
+/// lowest-member split, same join kernel, same failpoint site, same guard
+/// charges — but the memo is sharded behind `RwLock`s and intermediates are
+/// `Arc<Relation>`, so `try_tau` takes `&self` and the whole oracle is
+/// `Sync`.
+pub struct SharedOracle<'a> {
+    db: &'a Database,
+    shards: Vec<RwLock<HashMap<RelSet, Arc<Relation>>>>,
+    guard: Guard,
+    join_threads: usize,
+}
+
+impl<'a> SharedOracle<'a> {
+    /// A shared oracle over `db` with an unlimited guard.
+    pub fn new(db: &'a Database) -> Self {
+        SharedOracle::with_guard(db, Guard::unlimited())
+    }
+
+    /// A shared oracle whose materialization work is charged to `guard`.
+    /// The guard's counters are atomic, so one guard meters every worker.
+    pub fn with_guard(db: &'a Database, guard: Guard) -> Self {
+        SharedOracle {
+            db,
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+            guard,
+            join_threads: 1,
+        }
+    }
+
+    /// Use a partitioned parallel hash join with `n` threads inside
+    /// materialization (default 1 — the sequential kernel).
+    pub fn with_join_threads(mut self, n: usize) -> Self {
+        self.join_threads = n.max(1);
+        self
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// The guard charged by this oracle.
+    pub fn guard(&self) -> &Guard {
+        &self.guard
+    }
+
+    /// Swaps in a fresh guard, keeping the memo — the degradation ladder
+    /// gives each rung its own budget slice without re-materializing.
+    pub fn rearm(&mut self, guard: Guard) {
+        self.guard = guard;
+    }
+
+    /// Number of memoized intermediates across all shards.
+    pub fn memo_len(&self) -> usize {
+        self.shards.iter().map(|s| read_shard(s).len()).sum()
+    }
+
+    /// A [`CardinalityOracle`] view of this oracle for sequential callers.
+    pub fn handle(&self) -> SharedHandle<'_, Self> {
+        SharedHandle::new(self)
+    }
+
+    /// The materialized relation `R_{D′}` (memoized). A memo hit clones the
+    /// `Arc`, never the tuples.
+    pub fn try_relation(&self, subset: RelSet) -> Result<Arc<Relation>, MjoinError> {
+        if subset.is_empty() {
+            return Err(MjoinError::InvalidScheme(
+                "τ is defined for nonempty subsets".into(),
+            ));
+        }
+        failpoints::hit("cost::materialize")?;
+        if let Some(r) = read_shard(&self.shards[shard_of(subset)]).get(&subset) {
+            return Ok(Arc::clone(r));
+        }
+        let result = if subset.is_singleton() {
+            let Some(lowest) = subset.first() else {
+                return Err(MjoinError::Internal("singleton with no member".into()));
+            };
+            Arc::new(self.db.state(lowest).clone())
+        } else {
+            // Split off the lowest member; reuse the memoized rest. No lock
+            // is held across the recursion or the join.
+            let Some(lowest) = subset.first() else {
+                return Err(MjoinError::Internal("nonempty subset with no member".into()));
+            };
+            let rest = subset.difference(RelSet::singleton(lowest));
+            let rest_rel = self.try_relation(rest)?;
+            let joined = if self.join_threads > 1 {
+                rest_rel.natural_join_partitioned(
+                    self.db.state(lowest),
+                    self.join_threads,
+                    &self.guard,
+                )?
+            } else {
+                rest_rel.natural_join_guarded(
+                    self.db.state(lowest),
+                    JoinAlgorithm::Hash,
+                    &self.guard,
+                )?
+            };
+            Arc::new(joined)
+        };
+        self.memoize(subset, result)
+    }
+
+    /// First writer wins: if another worker memoized `subset` while we were
+    /// computing it, our copy is dropped and the winner's `Arc` returned.
+    /// The memo charge lands exactly once per distinct subset.
+    fn memoize(
+        &self,
+        subset: RelSet,
+        rel: Arc<Relation>,
+    ) -> Result<Arc<Relation>, MjoinError> {
+        let shard = &self.shards[shard_of(subset)];
+        let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = map.get(&subset) {
+            return Ok(Arc::clone(existing));
+        }
+        self.guard.charge_memo(1)?;
+        map.insert(subset, Arc::clone(&rel));
+        Ok(rel)
+    }
+}
+
+/// A poisoned shard only means another worker panicked *between* map
+/// operations; entries are only ever inserted whole, so the map is intact.
+fn read_shard<'m>(
+    shard: &'m RwLock<HashMap<RelSet, Arc<Relation>>>,
+) -> std::sync::RwLockReadGuard<'m, HashMap<RelSet, Arc<Relation>>> {
+    shard.read().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SyncCardinalityOracle for SharedOracle<'_> {
+    fn scheme(&self) -> &DbScheme {
+        self.db.scheme()
+    }
+
+    fn try_tau(&self, subset: RelSet) -> Result<u64, MjoinError> {
+        self.try_relation(subset).map(|r| r.tau())
+    }
+}
+
+/// Adapter: a `&O` where `O: SyncCardinalityOracle`, used as a sequential
+/// [`CardinalityOracle`]. Cloning the handle is free, so every worker (or
+/// every rung of the ladder) gets its own `&mut` view over the one shared
+/// memo.
+pub struct SharedHandle<'a, O: SyncCardinalityOracle + ?Sized> {
+    oracle: &'a O,
+}
+
+impl<'a, O: SyncCardinalityOracle + ?Sized> SharedHandle<'a, O> {
+    /// Wraps a shared oracle reference.
+    pub fn new(oracle: &'a O) -> Self {
+        SharedHandle { oracle }
+    }
+}
+
+impl<O: SyncCardinalityOracle + ?Sized> Clone for SharedHandle<'_, O> {
+    fn clone(&self) -> Self {
+        SharedHandle { oracle: self.oracle }
+    }
+}
+
+impl<O: SyncCardinalityOracle + ?Sized> CardinalityOracle for SharedHandle<'_, O> {
+    fn scheme(&self) -> &DbScheme {
+        self.oracle.scheme()
+    }
+
+    /// Mirrors `ExactOracle::tau`: invalid subsets panic, budget errors
+    /// saturate to `u64::MAX` so legacy callers degrade instead of dying.
+    fn tau(&mut self, subset: RelSet) -> u64 {
+        match self.oracle.try_tau(subset) {
+            Ok(t) => t,
+            Err(MjoinError::InvalidScheme(msg)) => panic!("{msg}"),
+            Err(_) => u64::MAX,
+        }
+    }
+
+    fn try_tau(&mut self, subset: RelSet) -> Result<u64, MjoinError> {
+        self.oracle.try_tau(subset)
+    }
+
+    fn try_tau_join(&mut self, d1: RelSet, d2: RelSet) -> Result<u64, MjoinError> {
+        self.oracle.try_tau_join(d1, d2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactOracle;
+    use mjoin_guard::Budget;
+
+    fn chain_db() -> Database {
+        Database::from_specs(&[
+            ("AB", vec![vec![1, 10], vec![2, 20], vec![3, 20]]),
+            ("BC", vec![vec![10, 5], vec![20, 5]]),
+            ("CD", vec![vec![5, 0], vec![5, 1]]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn shared_oracle_matches_exact_oracle() {
+        let db = chain_db();
+        let shared = SharedOracle::new(&db);
+        let mut exact = ExactOracle::new(&db);
+        for subset in db.scheme().full_set().subsets() {
+            if subset.is_empty() {
+                continue;
+            }
+            assert_eq!(
+                shared.try_tau(subset).unwrap(),
+                exact.try_tau(subset).unwrap(),
+                "{subset:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_oracle_memo_hits_share_allocation() {
+        let db = chain_db();
+        let o = SharedOracle::new(&db);
+        let full = db.scheme().full_set();
+        let r1 = o.try_relation(full).unwrap();
+        let len = o.memo_len();
+        let r2 = o.try_relation(full).unwrap();
+        assert!(Arc::ptr_eq(&r1, &r2));
+        assert_eq!(o.memo_len(), len);
+    }
+
+    #[test]
+    fn shared_oracle_concurrent_taus_agree() {
+        let db = chain_db();
+        let o = SharedOracle::new(&db);
+        let full = db.scheme().full_set();
+        let subsets: Vec<RelSet> =
+            full.subsets().filter(|s| !s.is_empty()).collect();
+        let mut exact = ExactOracle::new(&db);
+        let expected: Vec<u64> =
+            subsets.iter().map(|&s| exact.try_tau(s).unwrap()).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let o = &o;
+                    let subsets = &subsets;
+                    scope.spawn(move || {
+                        subsets
+                            .iter()
+                            .map(|&s| o.try_tau(s).unwrap())
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), expected);
+            }
+        });
+        // Duplicate computation may happen, but each subset is memoized
+        // (and charged) exactly once.
+        assert_eq!(o.memo_len(), subsets.len());
+    }
+
+    #[test]
+    fn shared_oracle_memo_budget_trips_once_per_subset() {
+        let db = chain_db();
+        let guard = Guard::new(Budget::unlimited().with_max_memo_entries(2));
+        let o = SharedOracle::with_guard(&db, guard);
+        let full = db.scheme().full_set();
+        let err = o.try_tau(full).unwrap_err();
+        assert!(matches!(err, MjoinError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn shared_handle_is_a_cardinality_oracle() {
+        let db = chain_db();
+        let o = SharedOracle::new(&db);
+        let mut h = o.handle();
+        let mut exact = ExactOracle::new(&db);
+        let full = db.scheme().full_set();
+        assert_eq!(h.tau(full), exact.tau(full));
+        assert_eq!(
+            h.try_tau_join(RelSet::singleton(0), RelSet::singleton(1)).unwrap(),
+            exact.try_tau_join(RelSet::singleton(0), RelSet::singleton(1)).unwrap()
+        );
+    }
+}

@@ -13,15 +13,19 @@
 
 use std::collections::HashMap;
 
-use mjoin_cost::CardinalityOracle;
+use mjoin_cost::{CardinalityOracle, SharedHandle, SyncCardinalityOracle};
 use mjoin_guard::{failpoints, Guard, MjoinError};
-use mjoin_hypergraph::RelSet;
+use mjoin_hypergraph::{DbScheme, RelSet};
 use mjoin_strategy::Strategy;
 
 use crate::plan::Plan;
 
 /// DP memo entry: best cost plus the winning split (None for leaves).
 pub(crate) type SplitMemo = HashMap<RelSet, (u64, Option<(RelSet, RelSet)>)>;
+
+/// A candidate-scan result: the winning split with its children's summed
+/// cost, `None` when the target subset has no valid split.
+type BestSplit = Result<Option<((RelSet, RelSet), u64)>, MjoinError>;
 
 /// Enumeration style for the product-free DP — an ablation trio; all
 /// produce plans of identical cost.
@@ -232,6 +236,47 @@ pub fn try_best_no_cartesian<O: CardinalityOracle>(
     }
 }
 
+/// The csg–cmp candidate scan for one target subset `s` of `DPccp`: every
+/// partition of `s` into connected linked halves, each enumerated once (the
+/// half containing min(s) is the canonical csg). Reads only strictly
+/// smaller subsets from `table`, so a whole size level can run this
+/// concurrently against a frozen table — the sequential and parallel DPs
+/// share this function, which is what makes them bit-identical.
+///
+/// Returns the winning split and the summed cost of its two children.
+fn ccp_best_split(
+    scheme: &DbScheme,
+    s: RelSet,
+    table: &SplitMemo,
+    guard: &Guard,
+) -> BestSplit {
+    let Some(first) = s.first() else {
+        return Err(MjoinError::Internal("connected subset is empty".into()));
+    };
+    let lowest = RelSet::singleton(first);
+    let mut best = u64::MAX;
+    let mut best_split = None;
+    for s1 in scheme.connected_subsets(s) {
+        guard.checkpoint()?;
+        if s1 == s || !lowest.is_subset_of(s1) {
+            continue;
+        }
+        let s2 = s.difference(s1);
+        if !scheme.connected(s2) || !scheme.linked(s1, s2) {
+            continue;
+        }
+        let (Some(&(c1, _)), Some(&(c2, _))) = (table.get(&s1), table.get(&s2)) else {
+            continue;
+        };
+        let cost = c1.saturating_add(c2);
+        if cost < best {
+            best = cost;
+            best_split = Some((s1, s2));
+        }
+    }
+    Ok(best_split.map(|split| (split, best)))
+}
+
 fn nocp_dpccp<O: CardinalityOracle>(
     oracle: &mut O,
     subset: RelSet,
@@ -249,36 +294,9 @@ fn nocp_dpccp<O: CardinalityOracle>(
             table.insert(s, (0, None));
             continue;
         }
-        // csg–cmp pairs for s: every partition of s into connected linked
-        // halves, each enumerated once (the half containing min(s) is the
-        // canonical csg). Enumerate connected subsets of s containing
-        // min(s) by restricting the enumeration to s itself.
-        let Some(first) = s.first() else {
-            return Err(MjoinError::Internal("connected subset is empty".into()));
-        };
-        let lowest = RelSet::singleton(first);
-        let mut best = u64::MAX;
-        let mut best_split = None;
-        for s1 in oracle.scheme().connected_subsets(s) {
-            guard.checkpoint()?;
-            if s1 == s || !lowest.is_subset_of(s1) {
-                continue;
-            }
-            let s2 = s.difference(s1);
-            if !oracle.scheme().connected(s2) || !oracle.scheme().linked(s1, s2) {
-                continue;
-            }
-            let (Some(&(c1, _)), Some(&(c2, _))) = (table.get(&s1), table.get(&s2)) else {
-                continue;
-            };
-            let cost = c1.saturating_add(c2);
-            if cost < best {
-                best = cost;
-                best_split = Some((s1, s2));
-            }
-        }
-        if let Some(split) = best_split {
-            let total = oracle.try_tau(s)?.saturating_add(best);
+        let found = ccp_best_split(oracle.scheme(), s, &table, guard)?;
+        if let Some((split, children)) = found {
+            let total = oracle.try_tau(s)?.saturating_add(children);
             guard.charge_memo(1)?;
             table.insert(s, (total, Some(split)));
         }
@@ -339,6 +357,52 @@ fn nocp_rec<O: CardinalityOracle>(
     }
 }
 
+/// The `DPsize` candidate scan for one target subset `u`: every split of
+/// `u` into connected halves `(s1, s2)` with `|s1| ≤ |s2|`, ordered by
+/// `|s1|` then by `s1`'s position in its size bucket. Like
+/// [`ccp_best_split`] this reads only strictly smaller subsets of `table`,
+/// so size levels parallelize; the sequential and parallel DPsize share it.
+///
+/// Unlike DPccp, the first candidate wins even at a saturated `u64::MAX`
+/// cost — every reachable subset must record some split or plan
+/// reconstruction has nothing to follow.
+fn dpsize_best_split(
+    scheme: &DbScheme,
+    u: RelSet,
+    by_size: &[Vec<RelSet>],
+    table: &SplitMemo,
+    guard: &Guard,
+) -> BestSplit {
+    let size = u.len();
+    let mut best: Option<(u64, (RelSet, RelSet))> = None;
+    for (a, bucket) in by_size.iter().enumerate().take(size / 2 + 1).skip(1) {
+        let b = size - a;
+        for &s1 in bucket {
+            guard.checkpoint()?;
+            if !s1.is_subset_of(u) {
+                continue;
+            }
+            let s2 = u.difference(s1);
+            if a == b && s2.0 <= s1.0 {
+                continue; // each unordered pair once
+            }
+            if !scheme.linked(s1, s2) {
+                continue;
+            }
+            // `s2` may fail to be connected or reachable; either way it has
+            // no table entry and the pair is skipped.
+            let (Some(&(c1, _)), Some(&(c2, _))) = (table.get(&s1), table.get(&s2)) else {
+                continue;
+            };
+            let cost = c1.saturating_add(c2);
+            if best.is_none_or(|(bc, _)| cost < bc) {
+                best = Some((cost, (s1, s2)));
+            }
+        }
+    }
+    Ok(best.map(|(cost, split)| (split, cost)))
+}
+
 fn nocp_dpsize<O: CardinalityOracle>(
     oracle: &mut O,
     subset: RelSet,
@@ -357,39 +421,13 @@ fn nocp_dpsize<O: CardinalityOracle>(
         table.insert(s, (0, None));
     }
     for size in 2..=n {
-        for a in 1..=size / 2 {
-            let b = size - a;
-            for i in 0..by_size[a].len() {
-                let s1 = by_size[a][i];
-                guard.checkpoint()?;
-                for &s2 in &by_size[b] {
-                    if a == b && s2.0 <= s1.0 {
-                        continue; // each unordered pair once
-                    }
-                    if !s1.is_disjoint(s2) || !oracle.scheme().linked(s1, s2) {
-                        continue;
-                    }
-                    let (Some(&(c1, _)), Some(&(c2, _))) = (table.get(&s1), table.get(&s2))
-                    else {
-                        continue;
-                    };
-                    let u = s1.union(s2);
-                    let cost = oracle.try_tau(u)?.saturating_add(c1).saturating_add(c2);
-                    // Insert even when the (saturating) cost ties u64::MAX:
-                    // every reachable subset must record some split or
-                    // plan reconstruction has nothing to follow.
-                    match table.entry(u) {
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            guard.charge_memo(1)?;
-                            e.insert((cost, Some((s1, s2))));
-                        }
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            if cost < e.get().0 {
-                                e.insert((cost, Some((s1, s2))));
-                            }
-                        }
-                    }
-                }
+        for i in 0..by_size[size].len() {
+            let u = by_size[size][i];
+            let found = dpsize_best_split(oracle.scheme(), u, &by_size, &table, guard)?;
+            if let Some((split, children)) = found {
+                let total = oracle.try_tau(u)?.saturating_add(children);
+                guard.charge_memo(1)?;
+                table.insert(u, (total, Some(split)));
             }
         }
     }
@@ -437,11 +475,17 @@ pub fn try_best_avoid_cartesian<O: CardinalityOracle>(
     for &c in &comps {
         sizes.push(oracle.try_tau(c)?);
     }
+    combine_component_plans(plans, sizes, guard).map(Some)
+}
 
-    // DP over subsets of components; a step multiplying component-set C
-    // produces Π sizes (the components share no attributes).
-    let k = comps.len();
-    let mut memo: SplitMemo = HashMap::new();
+/// DP over subsets of components; a step multiplying component-set C
+/// produces Π sizes (the components share no attributes). Shared by the
+/// sequential and parallel avoid-Cartesian entry points.
+fn combine_component_plans(
+    plans: Vec<Plan>,
+    sizes: Vec<u64>,
+    guard: &Guard,
+) -> Result<Plan, MjoinError> {
     fn combo(
         cs: RelSet,
         sizes: &[u64],
@@ -477,9 +521,6 @@ pub fn try_best_avoid_cartesian<O: CardinalityOracle>(
         memo.insert(cs, (total, best_split));
         Ok(total)
     }
-    let base: Vec<u64> = plans.iter().map(|p| p.cost).collect();
-    let full = RelSet::full(k);
-    let cost = combo(full, &sizes, &base, &mut memo, guard)?;
 
     // Assemble the relation-level strategy from the component-level tree.
     fn assemble(cs: RelSet, plans: &[Plan], memo: &SplitMemo) -> Result<Strategy, MjoinError> {
@@ -502,10 +543,16 @@ pub fn try_best_avoid_cartesian<O: CardinalityOracle>(
         Strategy::join(assemble(a, plans, memo)?, assemble(b, plans, memo)?)
             .map_err(|e| MjoinError::Internal(format!("components must be disjoint: {e}")))
     }
-    Ok(Some(Plan {
+
+    let k = plans.len();
+    let mut memo: SplitMemo = HashMap::new();
+    let base: Vec<u64> = plans.iter().map(|p| p.cost).collect();
+    let full = RelSet::full(k);
+    let cost = combo(full, &sizes, &base, &mut memo, guard)?;
+    Ok(Plan {
         strategy: assemble(full, &plans, &memo)?,
         cost,
-    }))
+    })
 }
 
 /// Rebuilds a strategy from a split table. Memo corruption (a solved
@@ -530,6 +577,151 @@ pub(crate) fn try_rebuild(s: RelSet, memo: &SplitMemo) -> Result<Strategy, Mjoin
     };
     Strategy::join(try_rebuild(s1, memo)?, try_rebuild(s2, memo)?)
         .map_err(|e| MjoinError::Internal(format!("memoized splits must be disjoint: {e}")))
+}
+
+/// Runs `work` over every item of one DP level, splitting the level into
+/// contiguous chunks across `threads` scoped workers. Results come back in
+/// item order, errors in chunk order — combined with the fact that `work`
+/// reads only *previous* levels, this makes the parallel DP's merge
+/// deterministic: the table after each level is independent of the thread
+/// count, so plans and costs are bit-identical to the 1-thread run.
+fn run_level<T, F>(items: &[RelSet], threads: usize, work: F) -> Result<Vec<T>, MjoinError>
+where
+    T: Send,
+    F: Fn(RelSet) -> Result<T, MjoinError> + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(|&s| work(s)).collect();
+    }
+    let workers = threads.min(items.len());
+    let chunk = items.len().div_ceil(workers);
+    let results: Vec<Result<Vec<T>, MjoinError>> = std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| {
+                scope.spawn(move || {
+                    c.iter()
+                        .map(|&s| work(s))
+                        .collect::<Result<Vec<T>, MjoinError>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("DP worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Multi-core [`try_best_no_cartesian`]: the bottom-up DPs (`DPsize`,
+/// `DPccp`) run each subset-size level across `threads` scoped workers
+/// against a frozen table of the smaller levels, then merge in item order.
+/// Plans and costs are bit-identical to the sequential DP at any thread
+/// count — the per-subset candidate scan is the very same function.
+///
+/// `DpSub` is a top-down recursion with nothing to parallelize; it runs
+/// sequentially over a [`SharedHandle`].
+pub fn try_best_no_cartesian_parallel<O: SyncCardinalityOracle>(
+    oracle: &O,
+    subset: RelSet,
+    algorithm: DpAlgorithm,
+    guard: &Guard,
+    threads: usize,
+) -> Result<Option<Plan>, MjoinError> {
+    failpoints::hit("optimizer::dp")?;
+    let scheme = oracle.scheme();
+    if !scheme.connected(subset) {
+        return Ok(None);
+    }
+    if algorithm == DpAlgorithm::DpSub {
+        let mut handle = SharedHandle::new(oracle);
+        let mut memo = HashMap::new();
+        let Some(cost) = nocp_rec(&mut handle, subset, &mut memo, guard)? else {
+            return Ok(None);
+        };
+        return Ok(Some(Plan {
+            strategy: try_rebuild(subset, &memo)?,
+            cost,
+        }));
+    }
+    let connected = scheme.connected_subsets(subset);
+    let n = subset.len();
+    let mut by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
+    for s in connected {
+        by_size[s.len()].push(s);
+    }
+    let mut table: SplitMemo = HashMap::new();
+    for &s in &by_size[1] {
+        guard.charge_memo(1)?;
+        table.insert(s, (0, None));
+    }
+    for size in 2..=n {
+        let level = &by_size[size];
+        if level.is_empty() {
+            continue;
+        }
+        let results = run_level(level, threads, |u| {
+            guard.checkpoint()?;
+            let found = match algorithm {
+                DpAlgorithm::DpSize => dpsize_best_split(scheme, u, &by_size, &table, guard)?,
+                _ => ccp_best_split(scheme, u, &table, guard)?,
+            };
+            match found {
+                None => Ok(None),
+                Some((split, children)) => {
+                    let total = oracle.try_tau(u)?.saturating_add(children);
+                    Ok(Some((total, split)))
+                }
+            }
+        })?;
+        for (i, r) in results.into_iter().enumerate() {
+            if let Some((total, split)) = r {
+                guard.charge_memo(1)?;
+                table.insert(by_size[size][i], (total, Some(split)));
+            }
+        }
+    }
+    let Some(&(cost, _)) = table.get(&subset) else {
+        return Ok(None);
+    };
+    Ok(Some(Plan {
+        strategy: try_rebuild(subset, &table)?,
+        cost,
+    }))
+}
+
+/// Multi-core [`try_best_avoid_cartesian`]: each connected component is
+/// solved with [`try_best_no_cartesian_parallel`], then the components are
+/// combined by the same (cheap, sequential) component-ordering DP.
+pub fn try_best_avoid_cartesian_parallel<O: SyncCardinalityOracle>(
+    oracle: &O,
+    subset: RelSet,
+    algorithm: DpAlgorithm,
+    guard: &Guard,
+    threads: usize,
+) -> Result<Option<Plan>, MjoinError> {
+    let comps = oracle.scheme().components(subset);
+    if comps.len() == 1 {
+        return try_best_no_cartesian_parallel(oracle, subset, algorithm, guard, threads);
+    }
+    let mut plans: Vec<Plan> = Vec::with_capacity(comps.len());
+    for &c in &comps {
+        match try_best_no_cartesian_parallel(oracle, c, algorithm, guard, threads)? {
+            Some(p) => plans.push(p),
+            None => return Ok(None),
+        }
+    }
+    let mut sizes: Vec<u64> = Vec::with_capacity(comps.len());
+    for &c in &comps {
+        sizes.push(oracle.try_tau(c)?);
+    }
+    combine_component_plans(plans, sizes, guard).map(Some)
 }
 
 #[cfg(test)]

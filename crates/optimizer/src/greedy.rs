@@ -10,6 +10,8 @@
 //! * [`greedy_linear`] — grows one left-deep chain, always adding the
 //!   relation that keeps the running intermediate smallest.
 
+use std::collections::HashMap;
+
 use mjoin_cost::CardinalityOracle;
 use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::RelSet;
@@ -42,14 +44,30 @@ pub fn try_greedy_bushy<O: CardinalityOracle>(
         .iter()
         .map(|i| (RelSet::singleton(i), Strategy::leaf(i)))
         .collect();
+    // Pair cardinalities survive across merge rounds, keyed by the two
+    // trees' relation sets (which uniquely identify them): a merge only
+    // changes the pairs touching the merged trees, so each round consults
+    // the oracle O(k) times instead of O(k²) — O(n²) total, not O(n³).
+    let mut pair_cache: HashMap<(RelSet, RelSet), (bool, u64)> = HashMap::new();
     let mut cost = 0u64;
     while forest.len() > 1 {
         guard.checkpoint()?;
         let mut best: Option<(u64, bool, usize, usize)> = None;
         for i in 0..forest.len() {
             for j in (i + 1)..forest.len() {
-                let linked = oracle.scheme().linked(forest[i].0, forest[j].0);
-                let out = oracle.try_tau_join(forest[i].0, forest[j].0)?;
+                let (a, b) = (forest[i].0, forest[j].0);
+                // linked/τ are symmetric in the pair, so canonicalize the
+                // key — swap_remove reorders the forest between rounds.
+                let key_sets = if a.0 <= b.0 { (a, b) } else { (b, a) };
+                let (linked, out) = match pair_cache.get(&key_sets) {
+                    Some(&cached) => cached,
+                    None => {
+                        let linked = oracle.scheme().linked(a, b);
+                        let out = oracle.try_tau_join(a, b)?;
+                        pair_cache.insert(key_sets, (linked, out));
+                        (linked, out)
+                    }
+                };
                 // Smaller output wins; linked breaks ties.
                 let key = (out, !linked, i, j);
                 if best.is_none_or(|(bo, bnl, bi, bj)| key < (bo, bnl, bi, bj)) {
@@ -65,6 +83,9 @@ pub fn try_greedy_bushy<O: CardinalityOracle>(
         // tree (swap_remove only disturbs positions ≥ j).
         let (sj_set, sj) = forest.swap_remove(j);
         let (si_set, si) = forest.swap_remove(i);
+        // Drop the merged trees' rows/columns; every other pair stays valid.
+        pair_cache
+            .retain(|&(a, b), _| a != si_set && a != sj_set && b != si_set && b != sj_set);
         let merged = Strategy::join(si, sj)
             .map_err(|e| MjoinError::Internal(format!("forest trees must be disjoint: {e}")))?;
         forest.push((si_set.union(sj_set), merged));
@@ -76,8 +97,9 @@ pub fn try_greedy_bushy<O: CardinalityOracle>(
 }
 
 /// Greedy linear planner: start from the smallest relation, then repeatedly
-/// append the relation minimizing the next intermediate (preferring linked
-/// extensions).
+/// append the relation minimizing the next intermediate (ties: prefer
+/// linked extensions, then lower indices — the same cost-first order as
+/// [`greedy_bushy`]).
 pub fn greedy_linear<O: CardinalityOracle>(oracle: &mut O, subset: RelSet) -> Plan {
     try_greedy_linear(oracle, subset, &Guard::unlimited())
         .unwrap_or_else(|e| panic!("{e}"))
@@ -114,12 +136,16 @@ pub fn try_greedy_linear<O: CardinalityOracle>(
         for i in subset.difference(prefix).iter() {
             let linked = oracle.scheme().linked(prefix, RelSet::singleton(i));
             let out = oracle.try_tau_join(prefix, RelSet::singleton(i))?;
-            let key = (!linked, out, i);
+            // Smallest intermediate wins; linked breaks ties — the same
+            // cost-first order as the bushy heuristic. (Ranking any linked
+            // extension above a cheaper unlinked one contradicted the
+            // module doc and could pick a strictly worse plan.)
+            let key = (out, !linked, i);
             if next.is_none_or(|k| key < k) {
                 next = Some(key);
             }
         }
-        let Some((_, out, next)) = next else {
+        let Some((out, _, next)) = next else {
             return Err(MjoinError::Internal("prefix must be proper".into()));
         };
         cost = cost.saturating_add(out);
@@ -190,6 +216,83 @@ mod tests {
         let s = RelSet::singleton(0);
         assert_eq!(greedy_bushy(&mut o, s).cost, 0);
         assert_eq!(greedy_linear(&mut o, s).cost, 0);
+    }
+
+    /// Forwards to an inner oracle, counting every τ consultation — the
+    /// instrument for the pair-cache regression test.
+    struct CountingOracle<'a, O: CardinalityOracle> {
+        inner: &'a mut O,
+        calls: usize,
+    }
+
+    impl<O: CardinalityOracle> CardinalityOracle for CountingOracle<'_, O> {
+        fn scheme(&self) -> &mjoin_hypergraph::DbScheme {
+            self.inner.scheme()
+        }
+
+        fn tau(&mut self, subset: RelSet) -> u64 {
+            self.calls += 1;
+            self.inner.tau(subset)
+        }
+
+        fn try_tau(&mut self, subset: RelSet) -> Result<u64, MjoinError> {
+            self.calls += 1;
+            self.inner.try_tau(subset)
+        }
+
+        fn try_tau_join(&mut self, d1: RelSet, d2: RelSet) -> Result<u64, MjoinError> {
+            self.calls += 1;
+            self.inner.try_tau_join(d1, d2)
+        }
+    }
+
+    #[test]
+    fn greedy_linear_prefers_cheapest_extension_over_linked() {
+        // Regression: the linear heuristic used to rank any linked
+        // extension above a cheaper unlinked one — key (!linked, out, i) —
+        // while the bushy heuristic and the module doc are cost-first.
+        // From prefix AB (1 tuple), the 2-tuple product with DE is cheaper
+        // than the 3-tuple linked join with BC; the old order joined BC
+        // first for a total of 3 + 6 = 9 with plan [0, 1, 2].
+        let db = Database::from_specs(&[
+            ("AB", vec![vec![1, 1]]),
+            ("BC", vec![vec![1, 10], vec![1, 11], vec![1, 12]]),
+            ("DE", vec![vec![7, 7], vec![8, 8]]),
+        ])
+        .unwrap();
+        let mut o = ExactOracle::new(&db);
+        let plan = greedy_linear(&mut o, db.scheme().full_set());
+        assert_eq!(plan.strategy, Strategy::left_deep(&[0, 2, 1]));
+        assert_eq!(plan.cost, 2 + 6);
+    }
+
+    #[test]
+    fn greedy_bushy_pair_cache_cuts_oracle_calls() {
+        // Regression: every merge round used to recompute all O(k²) pair
+        // cardinalities — Σ C(k,2) = 35 oracle calls for a 6-chain. With
+        // pairs cached across rounds only the merged tree's row/column is
+        // refreshed: C(6,2) for the first round plus C(5,2) thereafter.
+        let db = Database::from_specs(&[
+            ("AB", vec![vec![1, 10], vec![2, 20], vec![3, 20]]),
+            ("BC", vec![vec![10, 5], vec![20, 5], vec![20, 6]]),
+            ("CD", vec![vec![5, 0], vec![6, 1]]),
+            ("DE", vec![vec![0, 7], vec![1, 8], vec![2, 9]]),
+            ("EF", vec![vec![7, 4], vec![8, 4]]),
+            ("FG", vec![vec![4, 1], vec![4, 2]]),
+        ])
+        .unwrap();
+        let mut inner = ExactOracle::new(&db);
+        let mut o = CountingOracle { inner: &mut inner, calls: 0 };
+        let full = db.scheme().full_set();
+        let plan = greedy_bushy(&mut o, full);
+        let planning_calls = o.calls;
+        assert_eq!(plan.cost, plan.strategy.cost(&mut o));
+        let n = 6;
+        let uncached: usize = (2..=n).map(|k| k * (k - 1) / 2).sum();
+        let cached = n * (n - 1) / 2 + (n - 1) * (n - 2) / 2;
+        assert_eq!(uncached, 35);
+        assert_eq!(planning_calls, cached);
+        assert!(planning_calls < uncached);
     }
 
     #[test]

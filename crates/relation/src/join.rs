@@ -13,6 +13,7 @@ use crate::relation::{Relation, Tuple};
 use crate::value::Value;
 use mjoin_guard::{failpoints, Guard, MjoinError};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Output-tuple charges are flushed to the guard in batches of this size,
 /// so a guarded join costs one counter increment per emitted row plus one
@@ -185,46 +186,137 @@ fn hash_join(
     Ok(out)
 }
 
+/// Partitioned parallel hash join: both sides are split into `threads`
+/// partitions by a deterministic hash of the shared-attribute key, one
+/// scoped worker joins each partition pair, and the outputs are
+/// concatenated. Matching tuples always hash to the same partition, so the
+/// union of the partition joins is exactly the sequential join; the
+/// canonical sort+dedup in [`Relation::from_tuples_unchecked`] then makes
+/// the result bit-identical at any thread count. Every worker charges the
+/// same shared `guard` (its counters are atomic).
+pub(crate) fn join_partitioned(
+    left: &Relation,
+    right: &Relation,
+    threads: usize,
+    guard: &Guard,
+) -> Result<Relation, MjoinError> {
+    failpoints::hit("relation::join")?;
+    let plan = JoinPlan::new(left, right);
+    if threads <= 1 {
+        let tuples = hash_join(left, right, &plan, guard)?;
+        return Ok(Relation::from_tuples_unchecked(plan.out_scheme, tuples));
+    }
+    let part_of = |t: &Tuple, is_left: bool| -> usize {
+        // DefaultHasher::new() is keyed with constants, so partitioning is
+        // deterministic — not that correctness needs it (any partitioning
+        // by key yields the same set of matches).
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        plan.key(t, is_left).hash(&mut h);
+        (h.finish() % threads as u64) as usize
+    };
+    let mut lparts: Vec<Vec<&Tuple>> = vec![Vec::new(); threads];
+    for t in left.tuples() {
+        lparts[part_of(t, true)].push(t);
+    }
+    let mut rparts: Vec<Vec<&Tuple>> = vec![Vec::new(); threads];
+    for t in right.tuples() {
+        rparts[part_of(t, false)].push(t);
+    }
+    let plan_ref = &plan;
+    let results: Vec<Result<Vec<Tuple>, MjoinError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = lparts
+            .iter()
+            .zip(&rparts)
+            .map(|(lp, rp)| {
+                scope.spawn(move || hash_join_parts(lp, rp, plan_ref, guard))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::new();
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(Relation::from_tuples_unchecked(plan.out_scheme, out))
+}
+
+/// One partition's hash join — `hash_join` over tuple slices instead of
+/// whole relations.
+fn hash_join_parts(
+    lp: &[&Tuple],
+    rp: &[&Tuple],
+    plan: &JoinPlan,
+    guard: &Guard,
+) -> Result<Vec<Tuple>, MjoinError> {
+    let (build, probe, build_is_left) = if lp.len() <= rp.len() {
+        (lp, rp, true)
+    } else {
+        (rp, lp, false)
+    };
+    let mut table: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::with_capacity(build.len());
+    for &t in build {
+        table.entry(plan.key(t, build_is_left)).or_default().push(t);
+    }
+    let mut charger = Charger::new(guard);
+    let mut out = Vec::new();
+    for &t in probe {
+        if let Some(matches) = table.get(&plan.key(t, !build_is_left)) {
+            for m in matches {
+                charger.emit()?;
+                if build_is_left {
+                    out.push(plan.emit(m, t));
+                } else {
+                    out.push(plan.emit(t, m));
+                }
+            }
+        }
+    }
+    charger.finish()?;
+    Ok(out)
+}
+
 fn sort_merge_join(
     left: &Relation,
     right: &Relation,
     plan: &JoinPlan,
     guard: &Guard,
 ) -> Result<Vec<Tuple>, MjoinError> {
-    // Sort both sides by their shared-attribute key.
-    fn key_cmp(cols: &[usize], a: &Tuple, b: &Tuple) -> std::cmp::Ordering {
-        for &c in cols {
-            match a.values()[c].cmp(&b.values()[c]) {
-                std::cmp::Ordering::Equal => continue,
-                o => return o,
-            }
-        }
-        std::cmp::Ordering::Equal
-    }
-    let mut ls: Vec<&Tuple> = left.tuples().iter().collect();
-    let mut rs: Vec<&Tuple> = right.tuples().iter().collect();
-    ls.sort_by(|a, b| key_cmp(&plan.left_key, a, b));
-    rs.sort_by(|a, b| key_cmp(&plan.right_key, a, b));
+    // Extract each side's shared-attribute key exactly once, then sort the
+    // (key, tuple) pairs. The merge below compares the precomputed keys, so
+    // neither sorting nor group-boundary probing allocates.
+    let mut ls: Vec<(Vec<&Value>, &Tuple)> = left
+        .tuples()
+        .iter()
+        .map(|t| (plan.key(t, true), t))
+        .collect();
+    let mut rs: Vec<(Vec<&Value>, &Tuple)> = right
+        .tuples()
+        .iter()
+        .map(|t| (plan.key(t, false), t))
+        .collect();
+    ls.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    rs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
 
     let mut charger = Charger::new(guard);
     let mut out = Vec::new();
     let (mut i, mut j) = (0, 0);
     while i < ls.len() && j < rs.len() {
-        let lk = plan.key(ls[i], true);
-        let rk = plan.key(rs[j], false);
-        match lk.cmp(&rk) {
+        match ls[i].0.cmp(&rs[j].0) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
                 // Find the group boundaries on both sides, emit the product.
                 let i_end = (i..ls.len())
-                    .find(|&k| plan.key(ls[k], true) != lk)
+                    .find(|&k| ls[k].0 != ls[i].0)
                     .unwrap_or(ls.len());
                 let j_end = (j..rs.len())
-                    .find(|&k| plan.key(rs[k], false) != rk)
+                    .find(|&k| rs[k].0 != rs[j].0)
                     .unwrap_or(rs.len());
-                for l in &ls[i..i_end] {
-                    for r in &rs[j..j_end] {
+                for (_, l) in &ls[i..i_end] {
+                    for (_, r) in &rs[j..j_end] {
                         charger.emit()?;
                         out.push(plan.emit(l, r));
                     }
@@ -349,6 +441,74 @@ mod tests {
         for alg in ALGOS {
             assert_eq!(r1.natural_join_with(&r2, alg).tau(), 10, "{alg:?}");
         }
+    }
+
+    #[test]
+    fn sort_merge_handles_duplicate_key_runs() {
+        // Regression for the precomputed-key rewrite: heavy duplicate keys
+        // exercise the group-boundary scan, including groups that run to
+        // the end of both sides.
+        let r = rel("AB", (0..20).map(|i| vec![i, 0]).collect());
+        let s = rel("BC", (0..15).map(|i| vec![0, i]).collect());
+        let hash = r.natural_join_with(&s, JoinAlgorithm::Hash);
+        let sm = r.natural_join_with(&s, JoinAlgorithm::SortMerge);
+        assert_eq!(hash, sm);
+        assert_eq!(sm.tau(), 300);
+    }
+
+    #[test]
+    fn partitioned_join_matches_sequential_at_every_thread_count() {
+        let r = rel(
+            "AB",
+            (0..40).map(|i| vec![i, i % 7]).collect(),
+        );
+        let s = rel(
+            "BC",
+            (0..30).map(|i| vec![i % 7, 100 + i]).collect(),
+        );
+        let sequential = r.natural_join(&s);
+        for threads in 1..=4 {
+            let guard = Guard::unlimited();
+            let par = r.natural_join_partitioned(&s, threads, &guard).unwrap();
+            assert_eq!(par, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn partitioned_join_charges_the_same_tuple_total() {
+        let r = rel("AB", (0..40).map(|i| vec![i, i % 7]).collect());
+        let s = rel("BC", (0..30).map(|i| vec![i % 7, 100 + i]).collect());
+        let charged = |threads: usize| -> u64 {
+            let guard = Guard::new(mjoin_guard::Budget::unlimited().with_max_tuples(1_000_000));
+            r.natural_join_partitioned(&s, threads, &guard).unwrap();
+            guard.tuples_used()
+        };
+        let seq = charged(1);
+        assert!(seq > 0);
+        for threads in 2..=4 {
+            assert_eq!(charged(threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn partitioned_join_respects_tuple_budget() {
+        let r = rel("AB", (0..50).map(|i| vec![i, 0]).collect());
+        let s = rel("BC", (0..50).map(|i| vec![0, i]).collect());
+        let guard = Guard::new(mjoin_guard::Budget::unlimited().with_max_tuples(100));
+        let err = r.natural_join_partitioned(&s, 4, &guard).unwrap_err();
+        assert!(matches!(err, MjoinError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn partitioned_cartesian_product_is_correct() {
+        // Disjoint schemes: the key is empty, every tuple lands in one
+        // partition, and the join must still equal the Cartesian product.
+        let r = rel("AB", vec![vec![1, 2], vec![3, 4]]);
+        let s = rel("CD", vec![vec![5, 6], vec![7, 8], vec![9, 10]]);
+        let guard = Guard::unlimited();
+        let par = r.natural_join_partitioned(&s, 4, &guard).unwrap();
+        assert_eq!(par, r.natural_join(&s));
+        assert_eq!(par.tau(), 6);
     }
 
     #[test]

@@ -191,6 +191,19 @@ impl Relation {
     ) -> Result<Relation, mjoin_guard::MjoinError> {
         crate::join::join_guarded(self, other, algorithm, guard)
     }
+
+    /// Partitioned parallel hash join across `threads` scoped workers, all
+    /// charging `guard`. Bit-identical to the sequential hash join at any
+    /// thread count (the output relation is canonical); `threads <= 1`
+    /// runs the sequential kernel directly.
+    pub fn natural_join_partitioned(
+        &self,
+        other: &Relation,
+        threads: usize,
+        guard: &mjoin_guard::Guard,
+    ) -> Result<Relation, mjoin_guard::MjoinError> {
+        crate::join::join_partitioned(self, other, threads, guard)
+    }
 }
 
 impl Relation {

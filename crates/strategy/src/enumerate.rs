@@ -8,6 +8,7 @@
 //! in total, of which `n!/2` are linear. These functions regenerate both
 //! the spaces and the counts (experiment `E0-counting`).
 
+use mjoin_cost::{SharedHandle, SyncCardinalityOracle};
 use mjoin_guard::{Guard, MjoinError};
 use mjoin_hypergraph::{DbScheme, RelSet};
 
@@ -66,6 +67,98 @@ fn each_rec(
         })?;
     }
     Ok(())
+}
+
+/// The τ-cheapest strategy for `subset` among those passing `accept`,
+/// found by exhaustive enumeration fanned across `threads` scoped workers.
+///
+/// The top-level [`RelSet::proper_splits`] are chunked over the workers;
+/// within a chunk each split's subtree is walked in exactly the order
+/// [`try_for_each_strategy`] uses, and worker bests are merged in chunk
+/// order under strict `<`. The winner is therefore the *first* strategy of
+/// minimum cost in sequential visitation order — bit-identical to a
+/// single-threaded scan at any thread count. Cardinalities come from the
+/// shared oracle, whose memo all workers populate together.
+///
+/// Returns `Ok(None)` when `accept` rejects every strategy (an empty
+/// subspace, e.g. product-free over an unconnected subset).
+pub fn try_best_strategy_parallel<O: SyncCardinalityOracle>(
+    oracle: &O,
+    subset: RelSet,
+    guard: &Guard,
+    threads: usize,
+    accept: &(dyn Fn(&Strategy) -> bool + Sync),
+) -> Result<Option<(Strategy, u64)>, MjoinError> {
+    if subset.is_empty() {
+        return Err(MjoinError::InvalidScheme(
+            "strategies need at least one relation".into(),
+        ));
+    }
+    if threads <= 1 || subset.is_singleton() {
+        let mut handle = SharedHandle::new(oracle);
+        let mut best: Option<(Strategy, u64)> = None;
+        try_for_each_strategy(subset, guard, &mut |s| {
+            if !accept(s) {
+                return Ok(());
+            }
+            let cost = s.try_cost(&mut handle)?;
+            if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+                best = Some((s.clone(), cost));
+            }
+            Ok(())
+        })?;
+        return Ok(best);
+    }
+    let splits: Vec<(RelSet, RelSet)> = subset.proper_splits().collect();
+    let workers = threads.min(splits.len().max(1));
+    let chunk = splits.len().div_ceil(workers);
+    let results: Vec<Result<Option<(Strategy, u64)>, MjoinError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = splits
+                .chunks(chunk)
+                .map(|ch| {
+                    scope.spawn(move || {
+                        let mut handle = SharedHandle::new(oracle);
+                        let mut best: Option<(Strategy, u64)> = None;
+                        for &(s1, s2) in ch {
+                            each_rec(s1, guard, &mut |left: &Strategy| {
+                                let left = left.clone();
+                                each_rec(s2, guard, &mut |right: &Strategy| {
+                                    let joined = Strategy::join(left.clone(), right.clone())
+                                        .map_err(|e| {
+                                            MjoinError::Internal(format!(
+                                                "proper splits must be disjoint: {e}"
+                                            ))
+                                        })?;
+                                    if !accept(&joined) {
+                                        return Ok(());
+                                    }
+                                    let cost = joined.try_cost(&mut handle)?;
+                                    if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+                                        best = Some((joined, cost));
+                                    }
+                                    Ok(())
+                                })
+                            })?;
+                        }
+                        Ok(best)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("enumeration worker panicked"))
+                .collect()
+        });
+    let mut best: Option<(Strategy, u64)> = None;
+    for r in results {
+        if let Some((s, c)) = r? {
+            if best.as_ref().is_none_or(|(_, b)| c < *b) {
+                best = Some((s, c));
+            }
+        }
+    }
+    Ok(best)
 }
 
 /// All strategies for `subset` (unordered trees, one representative per
@@ -349,6 +442,58 @@ mod tests {
         let mut n = 0usize;
         for_each_strategy(RelSet::full(5), &mut |_| n += 1);
         assert_eq!(n as u64, count_all_strategies(5));
+    }
+
+    #[test]
+    fn parallel_best_is_thread_count_invariant() {
+        use mjoin_cost::SyntheticOracle;
+        let d = scheme(&["AB", "BC", "CD", "DE"]);
+        let o = SyntheticOracle::new(d.clone(), vec![40, 30, 20, 10], 5);
+        let guard = Guard::unlimited();
+        let accept = |_: &Strategy| true;
+        let base = try_best_strategy_parallel(&o, d.full_set(), &guard, 1, &accept)
+            .unwrap()
+            .expect("full space is never empty");
+        for threads in [2, 3, 4] {
+            let got = try_best_strategy_parallel(&o, d.full_set(), &guard, threads, &accept)
+                .unwrap()
+                .expect("full space is never empty");
+            assert_eq!(got.1, base.1, "{threads} threads");
+            assert_eq!(got.0, base.0, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_best_respects_the_accept_filter() {
+        use mjoin_cost::SyntheticOracle;
+        let d = scheme(&["AB", "BC", "CD", "DE", "EA"]);
+        let o = SyntheticOracle::new(d.clone(), vec![9, 25, 4, 16, 36], 3);
+        let guard = Guard::unlimited();
+        let (s, c) =
+            try_best_strategy_parallel(&o, d.full_set(), &guard, 4, &|s| s.is_linear())
+                .unwrap()
+                .expect("linear space is never empty");
+        assert!(s.is_linear());
+        let mut seq = o.clone();
+        let expected = enumerate_linear(d.full_set())
+            .iter()
+            .map(|s| s.cost(&mut seq))
+            .min()
+            .unwrap();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn parallel_best_reports_an_empty_subspace() {
+        use mjoin_cost::SyntheticOracle;
+        let d = scheme(&["AB", "CD"]);
+        let o = SyntheticOracle::new(d.clone(), vec![5, 5], 2);
+        let guard = Guard::unlimited();
+        let best = try_best_strategy_parallel(&o, d.full_set(), &guard, 2, &|s| {
+            !s.uses_cartesian(&d)
+        })
+        .unwrap();
+        assert!(best.is_none());
     }
 
     #[test]
