@@ -1,0 +1,29 @@
+//! Adaptive, drift-aware execution of join strategies.
+//!
+//! Tay's τ-optimality theorems assume the optimizer knows the true
+//! intermediate cardinalities; real optimizers plan against estimates.
+//! This crate closes the loop at run time: [`execute_adaptive`] runs a
+//! chosen [`Strategy`](mjoin_strategy::Strategy) stage by stage against
+//! the real database, records estimated-vs-actual q-error per intermediate
+//! into an [`ExecutionTrace`], and when drift crosses a threshold,
+//! re-optimizes the remaining joins mid-query — treating materialized
+//! intermediates as base relations of a derived scheme and re-entering the
+//! degradation ladder under the remaining budget.
+//!
+//! [`regret_sweep`] pairs the executor with the seeded
+//! [`NoisyOracle`](mjoin_cost::NoisyOracle) to measure what re-planning
+//! buys back as estimation error grows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod harness;
+mod trace;
+
+pub use executor::{
+    execute_adaptive, plan_and_execute, AdaptiveConfig, Estimation, ExecutionOutcome,
+    DEFAULT_REPLAN_THRESHOLD,
+};
+pub use harness::{regret_sweep, RegretRow};
+pub use trace::{q_error, ExecutionTrace, ReplanEvent, StageRecord};

@@ -1,0 +1,117 @@
+//! Regret harness: static vs adaptive executed τ under injected
+//! estimation error.
+//!
+//! For each scheme family (chain / star / clique) and each q-error
+//! envelope in {1, 2, 4, 16}, the harness plans once under a seeded noisy
+//! estimator, then executes that plan both statically and adaptively and
+//! compares the executed τ. Because re-plans answer at an optimal rung
+//! over a search space that always contains the static plan's own
+//! continuation, the adaptive run can never generate more tuples — this
+//! bench asserts that invariant on every row before timing anything.
+//!
+//! Plans are drawn from the product-free space: contraction preserves
+//! linkedness, so the guarantee holds there too, and it keeps a badly
+//! noised 12-relation plan from materializing an 8¹¹-tuple cross product
+//! before the drift detector ever gets to see it.
+//!
+//! Smoke mode for CI (`MJOIN_BENCH_SMOKE=1`): smallest schemes, minimum
+//! samples — exercises every code path in seconds.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mjoin_adaptive::{regret_sweep, DEFAULT_REPLAN_THRESHOLD};
+use mjoin_cost::Database;
+use mjoin_gen::{data, data::DataConfig, schemes};
+use mjoin_optimizer::SearchSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ENVELOPES: &[f64] = &[1.0, 2.0, 4.0, 16.0];
+const NOISE_SEED: u64 = 17;
+
+fn smoke() -> bool {
+    std::env::var("MJOIN_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn corpus() -> Vec<(String, Database)> {
+    let sizes: &[(&str, usize)] = if smoke() {
+        &[("chain", 6), ("star", 6), ("clique", 5)]
+    } else {
+        &[("chain", 12), ("star", 12), ("clique", 10)]
+    };
+    sizes
+        .iter()
+        .map(|&(family, n)| {
+            let (cat, scheme) = match family {
+                "chain" => schemes::chain(n),
+                "star" => schemes::star(n),
+                _ => schemes::clique(n),
+            };
+            let mut rng = StdRng::seed_from_u64(0xADA7);
+            let db = data::uniform(cat, scheme, &DataConfig::default(), &mut rng);
+            (format!("{family}-{n}"), db)
+        })
+        .collect()
+}
+
+/// Runs the sweep over the whole corpus, asserts the regret invariant on
+/// every row, and prints the table.
+fn assert_adaptive_never_loses(corpus: &[(String, Database)]) {
+    for (label, db) in corpus {
+        let rows = regret_sweep(
+            label,
+            db,
+            SearchSpace::NoCartesian,
+            ENVELOPES,
+            NOISE_SEED,
+            DEFAULT_REPLAN_THRESHOLD,
+            1,
+        )
+        .expect("sweep over an unlimited budget cannot trip");
+        for row in &rows {
+            println!(
+                "{}: q={:<4} believed τ={:<6} static τ={:<6} adaptive τ={:<6} replans={}",
+                row.label, row.q, row.believed_cost, row.static_tau, row.adaptive_tau, row.replans
+            );
+            assert!(
+                row.adaptive_tau <= row.static_tau,
+                "{} at q={}: adaptive executed τ {} exceeds static {}",
+                row.label,
+                row.q,
+                row.adaptive_tau,
+                row.static_tau
+            );
+        }
+    }
+}
+
+fn bench_adaptive_regret(c: &mut Criterion) {
+    let corpus = corpus();
+    assert_adaptive_never_loses(&corpus);
+
+    let mut group = c.benchmark_group("adaptive_regret");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(if smoke() { 1 } else { 500 }));
+    group.measurement_time(Duration::from_millis(if smoke() { 1 } else { 2000 }));
+    // Time the heaviest envelope only: one plan + two executions per iter.
+    let (label, db) = &corpus[0];
+    group.bench_with_input(BenchmarkId::new("sweep_q16", label), db, |b, db| {
+        b.iter(|| {
+            regret_sweep(
+                label,
+                db,
+                SearchSpace::NoCartesian,
+                &[16.0],
+                NOISE_SEED,
+                DEFAULT_REPLAN_THRESHOLD,
+                1,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive_regret);
+criterion_main!(benches);

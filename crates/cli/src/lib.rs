@@ -317,10 +317,11 @@ pub fn run<F>(args: &[String], read: F) -> Result<String, CliError>
 where
     F: Fn(&str) -> Result<String, String>,
 {
-    let usage = "usage: mjoin <analyze|optimize|cost|conditions|compare|estimate|dot|show> <db-file> [ARGS] [FLAGS]\n\
+    let usage = "usage: mjoin <analyze|optimize|execute|cost|conditions|compare|estimate|dot|show> <db-file> [ARGS] [FLAGS]\n\
                  \n\
                  analyze    DB             conditions, theorems, recommended search space\n\
                  optimize   DB [SPACE]     cheapest plan (SPACE: all | linear | nocp | linear-nocp | avoid)\n\
+                 execute    DB [SPACE]     run the best plan stage by stage, tracing est vs actual\n\
                  cost       DB EXPR        explain a strategy, e.g. \"(AB ⋈ BC) ⋈ CD\"\n\
                  conditions DB             per-condition verdicts with violation witnesses\n\
                  compare    DB             every search space and heuristic side by side\n\
@@ -328,6 +329,12 @@ where
                  dot        DB [SPACE]     best plan as a Graphviz digraph\n\
                  reduce     DB             semijoin-reduce the database (full reducer / fixpoint)\n\
                  show       DB             print every relation state and the join result\n\
+                 \n\
+                 adaptive execution (execute):\n\
+                 --adaptive                re-optimize mid-query when a stage's q-error drifts\n\
+                 --replan-threshold F      drift trigger, q-error > F (implies --adaptive; default 2)\n\
+                 --noise-q F               plan under seeded estimation error within envelope F (≥ 1)\n\
+                 --noise-seed N            seed for the injected noise (default 0)\n\
                  \n\
                  resource governance (any command):\n\
                  --timeout-ms N            wall-clock deadline; optimize degrades gracefully\n\
@@ -489,6 +496,92 @@ where
                     }
                 }
             }
+        }
+        "execute" => {
+            let mut space = SearchSpace::All;
+            let mut space_set = false;
+            let mut adaptive = false;
+            let mut noise_q = 1.0f64;
+            let mut noise_seed = 0u64;
+            let mut threshold: Option<f64> = None;
+            let mut it = args[2..].iter().peekable();
+            while let Some(arg) = it.next() {
+                let (flag, inline) = match arg.split_once('=') {
+                    Some((f, v)) => (f, Some(v.to_string())),
+                    None => (arg.as_str(), None),
+                };
+                let value = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>| {
+                    inline
+                        .clone()
+                        .or_else(|| it.next().cloned())
+                        .ok_or_else(|| CliError(format!("flag {flag} requires a value")))
+                };
+                let parse_f64 = |v: String| {
+                    v.parse::<f64>()
+                        .map_err(|_| CliError(format!("flag {flag}: bad number {v:?}")))
+                };
+                match flag {
+                    "--adaptive" => adaptive = true,
+                    "--noise-q" => noise_q = parse_f64(value(&mut it)?)?,
+                    "--noise-seed" => {
+                        let v = value(&mut it)?;
+                        noise_seed = v
+                            .parse::<u64>()
+                            .map_err(|_| CliError(format!("flag {flag}: bad number {v:?}")))?;
+                    }
+                    "--replan-threshold" => {
+                        adaptive = true;
+                        threshold = Some(parse_f64(value(&mut it)?)?);
+                    }
+                    s if s.starts_with("--") => {
+                        return err(format!("execute: unknown flag {s:?}"));
+                    }
+                    s => {
+                        if space_set {
+                            return err(format!("execute: unexpected argument {s:?}"));
+                        }
+                        space = parse_space(s)?;
+                        space_set = true;
+                    }
+                }
+            }
+            if !noise_q.is_finite() || noise_q < 1.0 {
+                return err(format!("flag --noise-q: envelope must be ≥ 1, got {noise_q}"));
+            }
+            let estimation = if noise_q > 1.0 {
+                mjoin_adaptive::Estimation::Noisy {
+                    q: noise_q,
+                    seed: noise_seed,
+                }
+            } else {
+                mjoin_adaptive::Estimation::Synthetic
+            };
+            let config = mjoin_adaptive::AdaptiveConfig {
+                space,
+                budget,
+                threads: gopts.threads(),
+                replan_threshold: if adaptive {
+                    threshold.unwrap_or(mjoin_adaptive::DEFAULT_REPLAN_THRESHOLD)
+                } else {
+                    f64::INFINITY
+                },
+                ..mjoin_adaptive::AdaptiveConfig::default()
+            };
+            let (plan, outcome) =
+                mjoin_adaptive::plan_and_execute(db, &estimation, &config).map_err(fail)?;
+            let _ = writeln!(out, "search space: {space:?}");
+            let _ = writeln!(
+                out,
+                "plan: {}",
+                plan.strategy.render(db.catalog(), db.scheme())
+            );
+            if plan.cost == u64::MAX {
+                let _ = writeln!(out, "believed τ = (not costed)");
+            } else {
+                let _ = writeln!(out, "believed τ = {}", plan.cost);
+            }
+            out.push_str(&outcome.trace.render(db.catalog(), db.scheme()));
+            let _ = writeln!(out, "result: {} tuples", outcome.result.tau());
         }
         "cost" => {
             let Some(expr) = args.get(2) else {
@@ -806,6 +899,62 @@ Lang22 Chomsky
         assert!(out.contains("1.27× worse"), "{out}");
         let opt = run_ok(&["cost", "db.mj", "(GS ⋈ CL) ⋈ SC"]);
         assert!(opt.contains("τ-optimum"), "{opt}");
+    }
+
+    #[test]
+    fn execute_command_traces_stages() {
+        let out = run_ok(&["execute", "db.mj"]);
+        assert!(out.contains("plan: "), "{out}");
+        assert!(out.contains("stage 1:"), "{out}");
+        assert!(out.contains("executed τ = "), "{out}");
+        assert!(out.contains("result: 5 tuples"), "{out}");
+        assert!(!out.contains("replan"), "static run must not re-plan: {out}");
+    }
+
+    #[test]
+    fn execute_adaptive_without_drift_matches_static_byte_for_byte() {
+        // Example 4's synthetic q-errors stay under the default threshold,
+        // so the adaptive run never re-plans and its whole report — plan
+        // line included — is byte-identical to the static one.
+        let stat = run_ok(&["execute", "db.mj"]);
+        let adap = run_ok(&["execute", "db.mj", "--adaptive"]);
+        assert_eq!(stat, adap);
+    }
+
+    #[test]
+    fn execute_with_noise_replans_and_names_the_rung() {
+        let out = run_ok(&[
+            "execute",
+            "db.mj",
+            "--adaptive",
+            "--replan-threshold",
+            "1",
+            "--noise-q",
+            "16",
+            "--noise-seed",
+            "0",
+        ]);
+        assert!(out.contains("replan after stage 1"), "{out}");
+        assert!(out.contains("answered by"), "{out}");
+        assert!(out.contains("result: 5 tuples"), "{out}");
+    }
+
+    #[test]
+    fn execute_flag_errors_are_reported() {
+        let run_err = |args: &[&str]| {
+            run(
+                &args.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+                fake_fs,
+            )
+            .unwrap_err()
+            .to_string()
+        };
+        let err = run_err(&["execute", "db.mj", "--bogus"]);
+        assert!(err.contains("unknown flag"), "{err}");
+        let err = run_err(&["execute", "db.mj", "--noise-q", "0.5"]);
+        assert!(err.contains("≥ 1"), "{err}");
+        let err = run_err(&["execute", "db.mj", "--replan-threshold", "0.5"]);
+        assert!(err.contains("≥ 1"), "{err}");
     }
 
     #[test]

@@ -19,9 +19,18 @@ fn serialize() -> MutexGuard<'static, ()> {
 
 const DB: &str = "relation AB\n1 10\n2 20\n3 30\n\nrelation BC\n10 5\n20 6\n10 7\n";
 
+/// A cycle where every pairwise join is empty while the estimator believes
+/// ≥ 1: whichever first stage the planner picks materializes φ, q-error is
+/// ∞, and any adaptive execution re-plans after stage 1 — deterministically,
+/// with no noise seed involved.
+const DRIFT: &str = "relation AB\n1 10\n\nrelation BC\n20 5\n\nrelation CA\n6 2\n";
+
 fn cli(args: &[&str]) -> Result<String, String> {
     let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
-    run(&args, |_| Ok(DB.to_string())).map_err(|e| e.to_string())
+    run(&args, |path| {
+        Ok(if path == "drift" { DRIFT } else { DB }.to_string())
+    })
+    .map_err(|e| e.to_string())
 }
 
 /// Every registered site has a CLI command that reaches it; injecting a
@@ -40,6 +49,9 @@ fn every_site_is_reachable_from_the_cli() {
         ("optimizer::exhaustive", &["optimize", "db", "--timeout-ms", "10000"]),
         ("core::ladder", &["optimize", "db", "--timeout-ms", "10000"]),
         ("semijoin::reduce", &["reduce", "db"]),
+        ("adaptive::materialize", &["execute", "db"]),
+        ("adaptive::stage", &["execute", "db"]),
+        ("adaptive::replan", &["execute", "drift", "--adaptive", "--replan-threshold", "4"]),
     ];
     let routed: Vec<&str> = routes.iter().map(|(s, _)| *s).collect();
     for site in mjoin::failpoints::SITES {

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod conditions;
+pub mod derived;
 pub mod rewrites;
 pub mod robust;
 pub mod theorems;
@@ -55,6 +56,7 @@ pub mod theorems;
 mod facade;
 
 pub use conditions::{condition_report, first_violation, satisfies, Condition, ConditionReport, Violation};
+pub use derived::{derive_database, DerivedDatabase, DerivedLeaf};
 pub use facade::{analyze, analyze_guarded, optimize_database, optimize_database_guarded, Analysis};
 pub use robust::{
     optimize_database_robust, optimize_database_robust_threaded, optimize_robust,
@@ -63,7 +65,7 @@ pub use robust::{
 pub use theorems::{lemma1_check, lemma4_conclusion, lemma5_check, lemma6_check, theorem1, theorem2, theorem3, TheoremReport};
 
 // One-stop re-exports of the workspace's public surface.
-pub use mjoin_cost::{CardinalityOracle, Database, ExactOracle, SharedHandle, SharedOracle, SyncCardinalityOracle, SyntheticOracle};
+pub use mjoin_cost::{CardinalityOracle, Database, ExactOracle, NoisyOracle, SharedHandle, SharedOracle, SyncCardinalityOracle, SyntheticOracle};
 pub use mjoin_guard::{failpoints, Budget, CancelToken, Guard, MjoinError, Resource};
 pub use mjoin_hypergraph::{Acyclicity, DbScheme, JoinTree, RelSet};
 pub use mjoin_optimizer::{best_bottleneck, best_monotone, bottleneck_of, exists_monotone, ikkbz, optimize, optimize_with, try_best_avoid_cartesian_parallel, try_best_no_cartesian_parallel, try_greedy_bushy, try_greedy_linear, try_ikkbz, try_optimize, try_optimize_with, DpAlgorithm, Monotonicity, Plan, SearchSpace};

@@ -8,7 +8,7 @@
 
 use mjoin::{
     try_best_no_cartesian_parallel, try_best_strategy_parallel, Budget, Database, DpAlgorithm,
-    Guard, SharedOracle, Strategy,
+    Guard, NoisyOracle, SharedOracle, Strategy, SyntheticOracle,
 };
 use mjoin_gen::{data, schemes};
 use rand::rngs::StdRng;
@@ -128,6 +128,44 @@ fn exhaustive_and_dp_agree_on_the_product_free_optimum() {
             (Some(p), Some((_, c))) => assert_eq!(p.cost, c, "seed {seed}"),
             (None, None) => {}
             _ => panic!("seed {seed}: DP and enumeration disagree on emptiness"),
+        }
+    }
+}
+
+#[test]
+fn noisy_estimates_keep_the_parallel_dp_thread_count_invariant() {
+    // The seeded noise is a pure function of (seed, subset), so a noisy
+    // oracle is exactly as thread-count invariant as a noiseless one:
+    // plans searched under injected estimation error must still be
+    // bit-identical at 1, 2, and 4 threads.
+    for seed in 0..4u64 {
+        let db = random_db(6, seed.wrapping_add(200));
+        let subset = db.scheme().full_set();
+        for q in [2.0, 16.0] {
+            let oracle = NoisyOracle::try_new(SyntheticOracle::from_database(&db), q, seed)
+                .expect("valid envelope");
+            let run = |threads: usize| {
+                try_best_no_cartesian_parallel(
+                    &oracle,
+                    subset,
+                    DpAlgorithm::DpCcp,
+                    &Guard::unlimited(),
+                    threads,
+                )
+                .unwrap()
+            };
+            let base = run(1);
+            for threads in [2, 4] {
+                let got = run(threads);
+                match (&base, &got) {
+                    (None, None) => {}
+                    (Some(b), Some(g)) => {
+                        assert_eq!(g.cost, b.cost, "seed {seed} q {q} x{threads}");
+                        assert_eq!(g.strategy, b.strategy, "seed {seed} q {q} x{threads}");
+                    }
+                    _ => panic!("seed {seed} q {q} x{threads}: Some/None mismatch"),
+                }
+            }
         }
     }
 }

@@ -19,15 +19,21 @@
 //!   independence + per-attribute domains) for experiments on queries far
 //!   too large to materialize. The paper explicitly distrusts these
 //!   assumptions for *proving* optimality — we use the model only to drive
-//!   the large-n linear-vs-bushy sweeps, never inside the theorem checkers.
+//!   the large-n linear-vs-bushy sweeps, never inside the theorem checkers;
+//! * [`NoisyOracle`] — a seeded wrapper multiplying any oracle's answers
+//!   by deterministic per-subset error within a q-error envelope, turning
+//!   estimation drift into an injectable fault class for the adaptive
+//!   executor's tests and benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod database;
+mod noisy;
 mod oracle;
 mod shared;
 
 pub use database::Database;
+pub use noisy::NoisyOracle;
 pub use oracle::{CardinalityOracle, ExactOracle, SyntheticOracle};
 pub use shared::{SharedHandle, SharedOracle, SyncCardinalityOracle};

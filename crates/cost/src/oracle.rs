@@ -50,6 +50,29 @@ pub trait CardinalityOracle {
     }
 }
 
+/// The member to peel off when materializing `subset` bottom-up: the
+/// lowest member whose removal leaves the rest *connected* (one always
+/// exists when `subset` is connected — a spanning tree has a leaf), else
+/// the lowest member outright (the subset's join is then a cross product
+/// no matter the order). Peeling a cut vertex would force the rest to be
+/// materialized as a Cartesian product — on a star subset `{hub} ∪ spokes`
+/// that is `Π|spokeᵢ|` tuples built only to be thrown away — so the peel
+/// choice is the difference between polynomial and exponential
+/// materialization on hub-shaped schemes. Both exact oracles use this one
+/// function, keeping sequential and threaded materialization identical.
+pub(crate) fn peel_member(scheme: &DbScheme, subset: RelSet) -> Option<usize> {
+    let mut lowest = None;
+    for x in subset.iter() {
+        if lowest.is_none() {
+            lowest = Some(x);
+        }
+        if scheme.connected(subset.difference(RelSet::singleton(x))) {
+            return Some(x);
+        }
+    }
+    lowest
+}
+
 /// Exact oracle: materializes intermediate joins, memoized per subset.
 ///
 /// The memo means a dynamic program touching all `2ⁿ` subsets evaluates
@@ -167,14 +190,15 @@ impl<'a> ExactOracle<'a> {
             };
             Arc::new(self.db.state(lowest).clone())
         } else {
-            // Split off the lowest member; reuse the memoized rest.
-            let Some(lowest) = subset.first() else {
+            // Peel one member (keeping the rest connected when possible —
+            // see `peel_member`); reuse the memoized rest.
+            let Some(peel) = peel_member(self.db.scheme(), subset) else {
                 return Err(MjoinError::Internal("nonempty subset with no member".into()));
             };
-            let rest = subset.difference(RelSet::singleton(lowest));
+            let rest = subset.difference(RelSet::singleton(peel));
             let rest_rel = self.try_relation_inner(rest)?;
             Arc::new(rest_rel.natural_join_guarded(
-                self.db.state(lowest),
+                self.db.state(peel),
                 JoinAlgorithm::Hash,
                 &self.guard,
             )?)
@@ -236,6 +260,10 @@ pub struct SyntheticOracle {
     /// `default_domain`.
     domains: HashMap<usize, u64>,
     default_domain: u64,
+    /// Relations whose *state* is genuinely empty. Any subset touching one
+    /// joins to `φ`, so the estimate short-circuits to 0 there instead of
+    /// reporting the model's ≥ 1 floor.
+    empty: RelSet,
 }
 
 impl SyntheticOracle {
@@ -277,13 +305,34 @@ impl SyntheticOracle {
             base,
             domains: HashMap::new(),
             default_domain,
+            empty: RelSet::empty(),
         })
     }
 
     /// Overrides the domain size of one attribute.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` — use [`try_set_domain`](Self::try_set_domain)
+    /// to get a typed error instead.
     pub fn set_domain(&mut self, attr_index: usize, size: u64) {
-        assert!(size > 0, "domains must be ≥ 1");
+        self.try_set_domain(attr_index, size)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`set_domain`](Self::set_domain) with a typed validation error
+    /// instead of a panic, matching the rest of the builder API.
+    pub fn try_set_domain(&mut self, attr_index: usize, size: u64) -> Result<(), MjoinError> {
+        if size == 0 {
+            return Err(MjoinError::InvalidScheme("domains must be ≥ 1".into()));
+        }
         self.domains.insert(attr_index, size);
+        Ok(())
+    }
+
+    /// The relations recorded as genuinely empty (state `φ`); subsets
+    /// touching any of them estimate to exactly 0.
+    pub fn empty_relations(&self) -> RelSet {
+        self.empty
     }
 
     /// Builds the model from **catalog statistics** of an actual database:
@@ -292,12 +341,21 @@ impl SyntheticOracle {
     /// (across all relations containing it) — the estimator a System-R
     /// style optimizer would run from its statistics tables.
     ///
-    /// Empty relations get base cardinality 1 (the model's floor), so the
-    /// estimator stays total.
+    /// Genuinely empty relations are recorded as such: any subset touching
+    /// one estimates to exactly 0 (its true τ — `φ ⋈ R = φ`), while the
+    /// model keeps base cardinality 1 internally so the closed form stays
+    /// total for the remaining, nonempty subsets.
     pub fn from_database(db: &crate::database::Database) -> SyntheticOracle {
         let scheme = db.scheme().clone();
         let base: Vec<u64> = db.states().iter().map(|r| r.tau().max(1)).collect();
+        let mut empty = RelSet::empty();
+        for (i, r) in db.states().iter().enumerate() {
+            if r.is_empty() {
+                empty.insert(i);
+            }
+        }
         let mut oracle = SyntheticOracle::new(scheme.clone(), base, 1);
+        oracle.empty = empty;
         // Distinct values per attribute, unioned across relations.
         let all_attrs = scheme.attrs_of(scheme.full_set());
         for a in all_attrs.iter() {
@@ -328,6 +386,11 @@ impl SyntheticOracle {
     /// [`SyncCardinalityOracle`]: crate::SyncCardinalityOracle
     pub fn estimate(&self, subset: RelSet) -> u64 {
         assert!(!subset.is_empty(), "τ is defined for nonempty subsets");
+        // An empty member empties every join it takes part in; the true τ
+        // is 0, so don't let the model's ≥ 1 floor overestimate it.
+        if !subset.is_disjoint(self.empty) {
+            return 0;
+        }
         // Work in log space to avoid overflow, then clamp. Accumulation
         // order is fixed (ascending relation index, then ascending
         // attribute index) so estimates are bit-for-bit reproducible —
@@ -373,7 +436,51 @@ impl CardinalityOracle for SyntheticOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mjoin_guard::Budget;
     use mjoin_relation::Catalog;
+
+    fn star_db(n: i64) -> Database {
+        let hub: Vec<Vec<i64>> = (0..n).map(|i| vec![i, i, i]).collect();
+        let spoke = |off: i64| (0..n).map(|i| vec![i, off + i]).collect::<Vec<_>>();
+        Database::from_specs(&[
+            ("ABC", hub),
+            ("AX", spoke(100)),
+            ("BY", spoke(200)),
+            ("CZ", spoke(300)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn peel_member_keeps_the_rest_connected() {
+        let db = star_db(4);
+        let scheme = db.scheme();
+        // Peeling the hub (relation 0) would disconnect the spokes; the
+        // first safe peel is the lowest spoke.
+        assert_eq!(peel_member(scheme, scheme.full_set()), Some(1));
+        // A hub–spoke pair: removing the hub leaves a singleton, which is
+        // connected, so the lowest member is still the peel.
+        assert_eq!(peel_member(scheme, RelSet::from_indices([0, 1])), Some(0));
+        // Spokes alone are pairwise unlinked — no peel keeps the rest
+        // connected, so the rule falls back to the lowest member.
+        assert_eq!(peel_member(scheme, RelSet::from_indices([1, 2, 3])), Some(1));
+    }
+
+    #[test]
+    fn star_materialization_stays_product_free() {
+        // Regression: materialization used to peel the lowest member
+        // unconditionally, so a star subset {hub} ∪ spokes materialized
+        // the spokes' Cartesian product (Π|spokeᵢ| = n³ tuples here)
+        // before the hub ever joined in. The connectivity-aware peel
+        // builds ~3n join tuples instead — well under a budget the old
+        // order blows through.
+        let n = 20;
+        let db = star_db(n);
+        let full = db.scheme().full_set();
+        let guard = Guard::new(Budget::unlimited().with_max_tuples(1000));
+        let mut o = ExactOracle::with_guard(&db, guard);
+        assert_eq!(o.try_tau(full).unwrap(), n as u64);
+    }
 
     fn chain_db() -> Database {
         Database::from_specs(&[
@@ -510,6 +617,10 @@ mod tests {
 
     #[test]
     fn from_database_handles_empty_relations() {
+        // Regression: the estimator used to floor empty relations at base
+        // cardinality 1, so subsets containing a genuinely empty relation
+        // were estimated ≥ 1 while their true τ is 0. Emptiness is now
+        // recorded per relation and short-circuits the estimate.
         let mut cat = Catalog::new();
         let scheme = DbScheme::parse(&mut cat, &["AB", "BC"]).unwrap();
         let states = vec![
@@ -518,7 +629,44 @@ mod tests {
         ];
         let db = Database::new(cat, scheme, states);
         let mut est = SyntheticOracle::from_database(&db);
-        assert_eq!(est.tau(RelSet::singleton(0)), 1, "floor at 1");
+        assert_eq!(est.empty_relations(), RelSet::singleton(0));
+        assert_eq!(est.tau(RelSet::singleton(0)), 0, "empty state estimates 0");
+        assert_eq!(est.tau(RelSet::full(2)), 0, "φ ⋈ R = φ");
+        assert_eq!(est.tau(RelSet::singleton(1)), 1, "nonempty keeps the ≥ 1 floor");
+        assert!(est.result_is_empty());
+    }
+
+    #[test]
+    fn from_database_empty_estimates_match_the_exact_oracle() {
+        let mut cat = Catalog::new();
+        let scheme = DbScheme::parse(&mut cat, &["AB", "BC", "CD"]).unwrap();
+        let states = vec![
+            mjoin_relation::Relation::from_int_rows(scheme.scheme(0), vec![vec![1, 2]]).unwrap(),
+            mjoin_relation::Relation::empty(scheme.scheme(1)),
+            mjoin_relation::Relation::from_int_rows(scheme.scheme(2), vec![vec![3, 4]]).unwrap(),
+        ];
+        let db = Database::new(cat, scheme, states);
+        let mut est = SyntheticOracle::from_database(&db);
+        let mut exact = ExactOracle::new(&db);
+        for subset in db.scheme().full_set().subsets() {
+            if subset.is_empty() {
+                continue;
+            }
+            let (e, x) = (est.tau(subset), exact.tau(subset));
+            assert_eq!(e == 0, x == 0, "{subset:?}: emptiness must agree (est {e}, exact {x})");
+        }
+    }
+
+    #[test]
+    fn try_set_domain_rejects_zero_with_a_typed_error() {
+        let mut cat = Catalog::new();
+        let scheme = DbScheme::parse(&mut cat, &["AB", "BC"]).unwrap();
+        let mut o = SyntheticOracle::new(scheme, vec![10, 10], 10);
+        let b_index = cat.lookup("B").unwrap().index();
+        let err = o.try_set_domain(b_index, 0).unwrap_err();
+        assert!(matches!(err, MjoinError::InvalidScheme(_)), "{err:?}");
+        o.try_set_domain(b_index, 5).unwrap();
+        assert_eq!(o.tau(RelSet::full(2)), 10 * 10 / 5);
     }
 
     #[test]

@@ -76,8 +76,8 @@ fn shard_of(subset: RelSet) -> usize {
 /// Exact, memoizing cardinality oracle shareable across threads.
 ///
 /// Semantically identical to [`ExactOracle`](crate::ExactOracle) — same
-/// lowest-member split, same join kernel, same failpoint site, same guard
-/// charges — but the memo is sharded behind `RwLock`s and intermediates are
+/// connectivity-aware peel order, same join kernel, same failpoint site,
+/// same guard charges — but the memo is sharded behind `RwLock`s and intermediates are
 /// `Arc<Relation>`, so `try_tau` takes `&self` and the whole oracle is
 /// `Sync`.
 pub struct SharedOracle<'a> {
@@ -155,22 +155,23 @@ impl<'a> SharedOracle<'a> {
             };
             Arc::new(self.db.state(lowest).clone())
         } else {
-            // Split off the lowest member; reuse the memoized rest. No lock
-            // is held across the recursion or the join.
-            let Some(lowest) = subset.first() else {
+            // Peel one member (keeping the rest connected when possible —
+            // see `peel_member`); reuse the memoized rest. No lock is held
+            // across the recursion or the join.
+            let Some(peel) = crate::oracle::peel_member(self.db.scheme(), subset) else {
                 return Err(MjoinError::Internal("nonempty subset with no member".into()));
             };
-            let rest = subset.difference(RelSet::singleton(lowest));
+            let rest = subset.difference(RelSet::singleton(peel));
             let rest_rel = self.try_relation(rest)?;
             let joined = if self.join_threads > 1 {
                 rest_rel.natural_join_partitioned(
-                    self.db.state(lowest),
+                    self.db.state(peel),
                     self.join_threads,
                     &self.guard,
                 )?
             } else {
                 rest_rel.natural_join_guarded(
-                    self.db.state(lowest),
+                    self.db.state(peel),
                     JoinAlgorithm::Hash,
                     &self.guard,
                 )?

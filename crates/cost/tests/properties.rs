@@ -1,7 +1,7 @@
 //! Property tests for the oracle layer: exactness, memo transparency, and
 //! the inequalities the paper takes for granted.
 
-use mjoin_cost::{CardinalityOracle, Database, ExactOracle, SyntheticOracle};
+use mjoin_cost::{CardinalityOracle, Database, ExactOracle, NoisyOracle, SyntheticOracle};
 use mjoin_hypergraph::{DbScheme, RelSet};
 use mjoin_relation::{Catalog, Relation};
 use proptest::prelude::*;
@@ -24,6 +24,33 @@ fn arb_database() -> impl Strategy<Value = Database> {
                         .iter()
                         .map(|&(a, b)| vec![a, b])
                         .collect();
+                    Relation::from_int_rows(scheme.scheme(i), rows).expect("arity 2")
+                })
+                .collect();
+            Database::new(cat, scheme, states)
+        })
+}
+
+/// Like [`arb_database`], but with an all-zeros witness row planted in
+/// every relation, so every subset join is provably nonempty.
+fn arb_witnessed_database() -> impl Strategy<Value = Database> {
+    (
+        2usize..5,
+        proptest::collection::vec(proptest::collection::vec((0i64..4, 0i64..4), 0..8), 2..5),
+    )
+        .prop_map(|(n, all_rows)| {
+            let n = n.min(all_rows.len());
+            let mut cat = Catalog::new();
+            let specs: Vec<String> = (0..n).map(|i| format!("x{i},x{}", i + 1)).collect();
+            let refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+            let scheme = DbScheme::parse(&mut cat, &refs).expect("chain scheme");
+            let states: Vec<Relation> = (0..n)
+                .map(|i| {
+                    let mut rows: Vec<Vec<i64>> = all_rows[i]
+                        .iter()
+                        .map(|&(a, b)| vec![a, b])
+                        .collect();
+                    rows.push(vec![0, 0]); // the witness
                     Relation::from_int_rows(scheme.scheme(i), rows).expect("arity 2")
                 })
                 .collect();
@@ -101,6 +128,68 @@ proptest! {
         let mut o = SyntheticOracle::new(scheme, bases.clone(), domain);
         for (i, &b) in bases.iter().enumerate() {
             prop_assert_eq!(o.tau(RelSet::singleton(i)), b);
+        }
+    }
+
+    /// On databases where every subset join is witnessed nonempty, the
+    /// noiseless model's q-error against ground truth is finite for every
+    /// subset: both sides are ≥ 1, so neither ratio divides by zero.
+    #[test]
+    fn noiseless_model_q_error_is_finite_on_witnessed_databases(db in arb_witnessed_database()) {
+        let mut exact = ExactOracle::new(&db);
+        let mut model = SyntheticOracle::from_database(&db);
+        for subset in db.scheme().full_set().subsets() {
+            if subset.is_empty() {
+                continue;
+            }
+            let est = model.tau(subset);
+            let act = exact.tau(subset);
+            prop_assert!(est >= 1, "{subset:?}: witnessed estimate must be ≥ 1");
+            prop_assert!(act >= 1, "{subset:?}: witness row keeps the join nonempty");
+            let q = (est as f64 / act as f64).max(act as f64 / est as f64);
+            prop_assert!(q.is_finite() && q >= 1.0);
+        }
+    }
+
+    /// The noisy oracle never leaves its q-error envelope around the inner
+    /// estimate (up to integer rounding, which stays within floor/ceil).
+    #[test]
+    fn noise_stays_within_its_envelope(
+        db in arb_witnessed_database(),
+        q10 in 10u64..160,
+        seed: u64,
+    ) {
+        let q = q10 as f64 / 10.0;
+        let mut model = SyntheticOracle::from_database(&db);
+        let mut noisy = NoisyOracle::try_new(SyntheticOracle::from_database(&db), q, seed).unwrap();
+        for subset in db.scheme().full_set().subsets() {
+            if subset.is_empty() {
+                continue;
+            }
+            let base = model.tau(subset) as f64;
+            let n = noisy.tau(subset) as f64;
+            prop_assert!(n >= (base / q).floor().max(1.0), "{subset:?}: {n} under-shoots {base}/{q}");
+            prop_assert!(n <= (base * q).ceil(), "{subset:?}: {n} over-shoots {base}·{q}");
+        }
+    }
+
+    /// The same (envelope, seed) pair reproduces every noisy estimate bit
+    /// for bit across independently constructed oracles — the property the
+    /// adaptive executor's determinism guarantees rest on.
+    #[test]
+    fn seeded_noise_is_bit_reproducible(
+        db in arb_witnessed_database(),
+        q10 in 10u64..160,
+        seed: u64,
+    ) {
+        let q = q10 as f64 / 10.0;
+        let mut a = NoisyOracle::try_new(SyntheticOracle::from_database(&db), q, seed).unwrap();
+        let mut b = NoisyOracle::try_new(SyntheticOracle::from_database(&db), q, seed).unwrap();
+        for subset in db.scheme().full_set().subsets() {
+            if subset.is_empty() {
+                continue;
+            }
+            prop_assert_eq!(a.tau(subset), b.tau(subset));
         }
     }
 }

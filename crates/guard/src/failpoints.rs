@@ -28,6 +28,9 @@ pub const SITES: &[&str] = &[
     "optimizer::exhaustive",
     "semijoin::reduce",
     "core::ladder",
+    "adaptive::materialize",
+    "adaptive::stage",
+    "adaptive::replan",
 ];
 
 static ANY_ARMED: AtomicBool = AtomicBool::new(false);

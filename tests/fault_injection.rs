@@ -62,6 +62,41 @@ fn provoke(site: &str) -> MjoinError {
             let tree = JoinTree::build(db.scheme()).expect("example 4 is acyclic");
             mjoin_semijoin::try_full_reduce_with_stats(&db, &tree, 0, &guard).unwrap_err()
         }
+        "adaptive::materialize" | "adaptive::stage" => {
+            let order: Vec<usize> = full.iter().collect();
+            let strategy = mjoin::Strategy::left_deep(&order);
+            mjoin_adaptive::execute_adaptive(
+                &db,
+                &strategy,
+                &mjoin_adaptive::Estimation::Synthetic,
+                &mjoin_adaptive::AdaptiveConfig::default(),
+            )
+            .unwrap_err()
+        }
+        "adaptive::replan" => {
+            // A first stage that materializes φ drifts infinitely (the
+            // estimator floors nonempty inputs at ≥ 1), so the re-plan
+            // attempt is reached deterministically and trips the fault.
+            let db = Database::from_specs(&[
+                ("AB", vec![vec![1, 10]]),
+                ("BC", vec![vec![99, 5]]), // no B value matches AB
+                ("CD", vec![vec![5, 7]]),
+            ])
+            .unwrap();
+            let order: Vec<usize> = db.scheme().full_set().iter().collect();
+            let strategy = mjoin::Strategy::left_deep(&order);
+            let config = mjoin_adaptive::AdaptiveConfig {
+                replan_threshold: 4.0,
+                ..mjoin_adaptive::AdaptiveConfig::default()
+            };
+            mjoin_adaptive::execute_adaptive(
+                &db,
+                &strategy,
+                &mjoin_adaptive::Estimation::Synthetic,
+                &config,
+            )
+            .unwrap_err()
+        }
         other => panic!("unmapped failpoint site {other}: extend this test"),
     }
 }
