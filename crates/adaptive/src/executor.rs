@@ -44,6 +44,7 @@ use mjoin::{derive_database, optimize_robust_threaded, try_optimize, ExactOracle
 use mjoin_cost::{Database, NoisyOracle, SyntheticOracle};
 use mjoin_guard::{failpoints, Budget, CancelToken, Guard, MjoinError};
 use mjoin_hypergraph::RelSet;
+use mjoin_obs::{incr, span, Counter, Span};
 use mjoin_optimizer::{Plan, SearchSpace};
 use mjoin_relation::{JoinAlgorithm, Relation};
 use mjoin_strategy::Strategy;
@@ -281,6 +282,7 @@ pub fn execute_adaptive(
         )));
     }
     let started = Instant::now();
+    let _exec_span = span(Span::Execute);
     let guard = match &config.cancel {
         Some(c) => Guard::with_cancel(config.budget, c.clone()),
         None => Guard::new(config.budget),
@@ -306,6 +308,7 @@ pub fn execute_adaptive(
             guard.check_deadline_now()?;
             failpoints::hit("adaptive::materialize")?;
             let joined = {
+                let _stage_span = span(Span::AdaptiveStage);
                 let left = operand_rel(&view, &results, stages[si].left);
                 let right = operand_rel(&view, &results, stages[si].right);
                 if threads > 1 {
@@ -326,6 +329,7 @@ pub fn execute_adaptive(
             let estimated = estimator.estimate(derived_set, actual);
             let q = q_error(estimated, actual);
             trace.executed_tau = trace.executed_tau.saturating_add(actual);
+            incr(Counter::AdaptiveStagesExecuted, 1);
             trace.stages.push(StageRecord {
                 set: orig_set,
                 estimated,
@@ -338,6 +342,8 @@ pub fn execute_adaptive(
             let last = si + 1 == stages.len();
             if !last && q > config.replan_threshold && trace.replans.len() < config.max_replans {
                 failpoints::hit("adaptive::replan")?;
+                let _replan_span = span(Span::AdaptiveReplan);
+                incr(Counter::AdaptiveReplans, 1);
                 // Live nodes: unconsumed stage results (incl. the one just
                 // produced) and unconsumed materialized leaves. Untouched
                 // base relations come from the original database.

@@ -19,10 +19,11 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use mjoin_adaptive::{regret_sweep, DEFAULT_REPLAN_THRESHOLD};
 use mjoin_cost::Database;
 use mjoin_gen::{data, data::DataConfig, schemes};
+use mjoin_obs::{Json, Recorder};
 use mjoin_optimizer::SearchSpace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,8 +57,10 @@ fn corpus() -> Vec<(String, Database)> {
 }
 
 /// Runs the sweep over the whole corpus, asserts the regret invariant on
-/// every row, and prints the table.
-fn assert_adaptive_never_loses(corpus: &[(String, Database)]) {
+/// every row, and prints the table. Returns the rows for the
+/// `BENCH_adaptive_regret.json` report.
+fn assert_adaptive_never_loses(corpus: &[(String, Database)]) -> Vec<Json> {
+    let mut out = Vec::new();
     for (label, db) in corpus {
         let rows = regret_sweep(
             label,
@@ -82,14 +85,21 @@ fn assert_adaptive_never_loses(corpus: &[(String, Database)]) {
                 row.adaptive_tau,
                 row.static_tau
             );
+            out.push(Json::obj(vec![
+                ("label", Json::Str(row.label.clone())),
+                ("q", Json::F64(row.q)),
+                ("believed_cost", Json::U64(row.believed_cost)),
+                ("static_tau", Json::U64(row.static_tau)),
+                ("adaptive_tau", Json::U64(row.adaptive_tau)),
+                ("replans", Json::U64(row.replans as u64)),
+            ]));
         }
     }
+    out
 }
 
 fn bench_adaptive_regret(c: &mut Criterion) {
     let corpus = corpus();
-    assert_adaptive_never_loses(&corpus);
-
     let mut group = c.benchmark_group("adaptive_regret");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(if smoke() { 1 } else { 500 }));
@@ -114,4 +124,19 @@ fn bench_adaptive_regret(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_adaptive_regret);
-criterion_main!(benches);
+
+fn main() {
+    // The regret sweep runs with the metrics registry armed so the
+    // report's counters cover the real planning + execution work.
+    let rec = Recorder::arm();
+    let rows = assert_adaptive_never_loses(&corpus());
+    let snapshot = rec.snapshot();
+    drop(rec);
+    mjoin_bench::write_bench_report(
+        "adaptive_regret",
+        1,
+        snapshot,
+        Json::obj(vec![("rows", Json::Arr(rows))]),
+    );
+    benches();
+}

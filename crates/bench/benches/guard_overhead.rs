@@ -15,6 +15,7 @@ use criterion::{criterion_group, Criterion};
 use mjoin_cost::SyntheticOracle;
 use mjoin_gen::schemes;
 use mjoin_guard::{Budget, Guard};
+use mjoin_obs::{Json, Recorder};
 use mjoin_optimizer::try_best_bushy;
 use mjoin_relation::{Catalog, JoinAlgorithm, Relation};
 use rand::rngs::StdRng;
@@ -119,7 +120,12 @@ fn overhead_pct(base: Duration, test: Duration) -> f64 {
 }
 
 /// Asserts the <2% overhead claim with best-of-N timing and a few retries.
-fn verify() {
+/// Three scenarios on the join kernel and the bushy DP: an armed guard, and
+/// an armed guard *with the metrics recorder live* — instrumentation must
+/// stay inside the same budget. Returns one result row per scenario plus
+/// the counter snapshot from the recorder-armed passes for the
+/// `BENCH_guard_overhead.json` report.
+fn verify() -> (Vec<Json>, mjoin_obs::Snapshot) {
     let (r, s) = make_pair(1000, 8);
     let (_cat, scheme) = schemes::chain(10);
     let full = scheme.full_set();
@@ -127,10 +133,10 @@ fn verify() {
     let unlimited = Guard::unlimited();
     let armed = armed_guard();
 
-    let mut passed_join = false;
-    let mut passed_dp = false;
+    let mut pcts = [f64::INFINITY; 4];
+    let mut snapshot = None;
     for attempt in 0..5 {
-        if !passed_join {
+        if !(pcts[0] < 2.0 && pcts[1] < 2.0) {
             let raw = min_time(
                 || {
                     criterion::black_box(
@@ -142,22 +148,47 @@ fn verify() {
                 40,
                 8,
             );
-            let guarded = min_time(
-                || {
-                    criterion::black_box(
-                        r.natural_join_guarded(&s, JoinAlgorithm::Hash, &armed)
-                            .unwrap()
-                            .tau(),
-                    );
-                },
-                40,
-                8,
-            );
-            let pct = overhead_pct(raw, guarded);
-            println!("verify join kernel   (attempt {attempt}): armed-guard overhead {pct:+.2}%");
-            passed_join = pct < 2.0;
+            if pcts[0] >= 2.0 {
+                let guarded = min_time(
+                    || {
+                        criterion::black_box(
+                            r.natural_join_guarded(&s, JoinAlgorithm::Hash, &armed)
+                                .unwrap()
+                                .tau(),
+                        );
+                    },
+                    40,
+                    8,
+                );
+                pcts[0] = overhead_pct(raw, guarded);
+                println!(
+                    "verify join kernel          (attempt {attempt}): armed-guard overhead {:+.2}%",
+                    pcts[0]
+                );
+            }
+            if pcts[1] >= 2.0 {
+                let rec = Recorder::arm();
+                let recorded = min_time(
+                    || {
+                        criterion::black_box(
+                            r.natural_join_guarded(&s, JoinAlgorithm::Hash, &armed)
+                                .unwrap()
+                                .tau(),
+                        );
+                    },
+                    40,
+                    8,
+                );
+                snapshot = Some(rec.snapshot());
+                drop(rec);
+                pcts[1] = overhead_pct(raw, recorded);
+                println!(
+                    "verify join kernel          (attempt {attempt}): armed-guard + recorder {:+.2}%",
+                    pcts[1]
+                );
+            }
         }
-        if !passed_dp {
+        if !(pcts[2] < 2.0 && pcts[3] < 2.0) {
             let mut o1 = SyntheticOracle::new(scheme.clone(), base.clone(), 10);
             let raw = min_time(
                 || {
@@ -166,30 +197,84 @@ fn verify() {
                 20,
                 8,
             );
-            let mut o2 = SyntheticOracle::new(scheme.clone(), base.clone(), 10);
-            let guarded = min_time(
-                || {
-                    criterion::black_box(try_best_bushy(&mut o2, full, &armed).unwrap().cost);
-                },
-                20,
-                8,
-            );
-            let pct = overhead_pct(raw, guarded);
-            println!("verify bushy DP n=10 (attempt {attempt}): armed-guard overhead {pct:+.2}%");
-            passed_dp = pct < 2.0;
+            if pcts[2] >= 2.0 {
+                let mut o2 = SyntheticOracle::new(scheme.clone(), base.clone(), 10);
+                let guarded = min_time(
+                    || {
+                        criterion::black_box(try_best_bushy(&mut o2, full, &armed).unwrap().cost);
+                    },
+                    20,
+                    8,
+                );
+                pcts[2] = overhead_pct(raw, guarded);
+                println!(
+                    "verify bushy DP n=10        (attempt {attempt}): armed-guard overhead {:+.2}%",
+                    pcts[2]
+                );
+            }
+            if pcts[3] >= 2.0 {
+                let rec = Recorder::arm();
+                let mut o3 = SyntheticOracle::new(scheme.clone(), base.clone(), 10);
+                let recorded = min_time(
+                    || {
+                        criterion::black_box(try_best_bushy(&mut o3, full, &armed).unwrap().cost);
+                    },
+                    20,
+                    8,
+                );
+                snapshot = Some(rec.snapshot());
+                drop(rec);
+                pcts[3] = overhead_pct(raw, recorded);
+                println!(
+                    "verify bushy DP n=10        (attempt {attempt}): armed-guard + recorder {:+.2}%",
+                    pcts[3]
+                );
+            }
         }
-        if passed_join && passed_dp {
+        if pcts.iter().all(|&p| p < 2.0) {
             break;
         }
     }
-    assert!(passed_join, "join-kernel guard overhead exceeded 2%");
-    assert!(passed_dp, "bushy-DP guard overhead exceeded 2%");
-    println!("verify: guard overhead within the 2% budget on both hot paths");
+    assert!(pcts[0] < 2.0, "join-kernel guard overhead exceeded 2%");
+    assert!(
+        pcts[1] < 2.0,
+        "join-kernel guard + recorder overhead exceeded 2%"
+    );
+    assert!(pcts[2] < 2.0, "bushy-DP guard overhead exceeded 2%");
+    assert!(
+        pcts[3] < 2.0,
+        "bushy-DP guard + recorder overhead exceeded 2%"
+    );
+    println!("verify: guard overhead within the 2% budget on both hot paths, recorder armed or not");
+    let scenarios = [
+        "join_kernel/armed_guard",
+        "join_kernel/armed_guard_with_recorder",
+        "dp_bushy/armed_guard",
+        "dp_bushy/armed_guard_with_recorder",
+    ];
+    let rows = scenarios
+        .iter()
+        .zip(pcts)
+        .map(|(&scenario, pct)| {
+            Json::obj(vec![
+                ("scenario", Json::Str(scenario.to_string())),
+                ("overhead_pct", Json::F64(pct)),
+                ("budget_pct", Json::F64(2.0)),
+            ])
+        })
+        .collect();
+    (rows, snapshot.expect("recorder scenarios always run"))
 }
 
 criterion_group!(benches, bench_join_kernel, bench_dp);
 
 fn main() {
     benches();
-    verify();
+    let (rows, snapshot) = verify();
+    mjoin_bench::write_bench_report(
+        "guard_overhead",
+        1,
+        snapshot,
+        Json::obj(vec![("rows", Json::Arr(rows))]),
+    );
 }

@@ -13,10 +13,11 @@
 
 use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use mjoin_cost::SyntheticOracle;
 use mjoin_gen::schemes;
 use mjoin_guard::Guard;
+use mjoin_obs::{Json, Recorder};
 use mjoin_optimizer::{try_best_no_cartesian_parallel, DpAlgorithm, Plan};
 
 fn smoke() -> bool {
@@ -43,8 +44,9 @@ fn run_dpccp(oracle: &SyntheticOracle, n: usize, threads: usize) -> Plan {
 
 /// One timed run per thread count: checks determinism, prints speedups,
 /// and (on hosts with ≥ 4 cores) asserts the 13-relation 4-thread run is
-/// at least 2× faster than sequential.
-fn check_determinism_and_speedup(n: usize) {
+/// at least 2× faster than sequential. Returns one result row per thread
+/// count for the `BENCH_parallel_scaling.json` report.
+fn check_determinism_and_speedup(n: usize) -> Vec<Json> {
     let oracle = clique_oracle(n);
     let mut timings: Vec<(usize, Duration)> = Vec::new();
     let base = run_dpccp(&oracle, n, 1);
@@ -76,13 +78,32 @@ fn check_determinism_and_speedup(n: usize) {
             cores
         );
     }
+    timings
+        .iter()
+        .map(|&(threads, t)| {
+            Json::obj(vec![
+                ("clique", Json::U64(n as u64)),
+                ("threads", Json::U64(threads as u64)),
+                ("seconds", Json::F64(t.as_secs_f64())),
+                (
+                    "speedup_vs_1",
+                    Json::F64(t1 / t.as_secs_f64().max(f64::EPSILON)),
+                ),
+            ])
+        })
+        .collect()
+}
+
+fn sizes() -> &'static [usize] {
+    if smoke() {
+        &[12]
+    } else {
+        &[12, 13, 14]
+    }
 }
 
 fn bench_parallel_scaling(c: &mut Criterion) {
-    let sizes: &[usize] = if smoke() { &[12] } else { &[12, 13, 14] };
-    for &n in sizes {
-        check_determinism_and_speedup(n);
-    }
+    let sizes = sizes();
     let mut group = c.benchmark_group("parallel_scaling");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(if smoke() { 1 } else { 500 }));
@@ -101,4 +122,22 @@ fn bench_parallel_scaling(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_parallel_scaling);
-criterion_main!(benches);
+
+fn main() {
+    // Determinism checks run with the metrics registry armed, so the
+    // emitted report carries real counter values alongside the timings.
+    let rec = Recorder::arm();
+    let mut rows = Vec::new();
+    for &n in sizes() {
+        rows.extend(check_determinism_and_speedup(n));
+    }
+    let snapshot = rec.snapshot();
+    drop(rec);
+    mjoin_bench::write_bench_report(
+        "parallel_scaling",
+        4,
+        snapshot,
+        Json::obj(vec![("rows", Json::Arr(rows))]),
+    );
+    benches();
+}

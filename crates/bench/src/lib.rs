@@ -15,8 +15,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 mod table;
 
+pub use report::{bench_report_path, write_bench_report};
 pub use table::Table;
 
 /// A named experiment: its registry id and runner.

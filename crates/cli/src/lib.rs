@@ -41,6 +41,7 @@ use mjoin::{
 };
 use mjoin_fd::FdSet;
 use mjoin_hypergraph::{DbScheme, JoinTree};
+use mjoin_obs::{Json, Recorder, RunReport};
 use mjoin_relation::{Catalog, Relation};
 
 /// A parsed input file: the database plus any declared FDs and
@@ -200,12 +201,21 @@ pub struct GuardOptions {
     pub fail_inject: Vec<String>,
     /// Worker threads for plan search (`--threads N`).
     pub threads: Option<usize>,
+    /// Append a human-readable metrics table to the output (`--metrics`).
+    pub metrics: bool,
+    /// Write the machine-readable run report here (`--metrics-json PATH`).
+    pub metrics_json: Option<String>,
 }
 
 impl GuardOptions {
     /// Is any budget limit set (deadline or cap)?
     pub fn is_limited(&self) -> bool {
         self.timeout_ms.is_some() || self.max_memo_entries.is_some() || self.max_tuples.is_some()
+    }
+
+    /// Did the invocation ask for metrics in any form?
+    pub fn wants_metrics(&self) -> bool {
+        self.metrics || self.metrics_json.is_some()
     }
 
     /// The corresponding [`Budget`].
@@ -235,10 +245,10 @@ impl GuardOptions {
     }
 }
 
-/// Splits `--timeout-ms`, `--max-memo-entries`, `--max-tuples` and
-/// `--fail-inject` (both `--flag value` and `--flag=value` forms) out of
-/// `args`, returning the remaining positional arguments and the parsed
-/// options.
+/// Splits `--timeout-ms`, `--max-memo-entries`, `--max-tuples`,
+/// `--fail-inject`, `--threads`, `--metrics` and `--metrics-json` (both
+/// `--flag value` and `--flag=value` forms) out of `args`, returning the
+/// remaining positional arguments and the parsed options.
 pub fn parse_guard_flags(args: &[String]) -> Result<(Vec<String>, GuardOptions), CliError> {
     let mut rest = Vec::with_capacity(args.len());
     let mut opts = GuardOptions::default();
@@ -268,6 +278,8 @@ pub fn parse_guard_flags(args: &[String]) -> Result<(Vec<String>, GuardOptions),
             }
             "--max-memo-entries" => opts.max_memo_entries = Some(parse_u64(value(&mut it)?)?),
             "--max-tuples" => opts.max_tuples = Some(parse_u64(value(&mut it)?)?),
+            "--metrics" => opts.metrics = true,
+            "--metrics-json" => opts.metrics_json = Some(value(&mut it)?),
             "--fail-inject" => {
                 for site in value(&mut it)?.split(',').filter(|s| !s.is_empty()) {
                     if !failpoints::is_known(site) {
@@ -341,7 +353,11 @@ where
                  --max-memo-entries N      cap on memoized intermediate results\n\
                  --max-tuples N            cap on intermediate tuples generated\n\
                  --threads N               worker threads for plan search (default: $MJOIN_THREADS or 1)\n\
-                 --fail-inject SITE[,..]   arm deterministic fault injection (testing)";
+                 --fail-inject SITE[,..]   arm deterministic fault injection (testing)\n\
+                 \n\
+                 observability (any command):\n\
+                 --metrics                 append a counter/span table to the output\n\
+                 --metrics-json PATH       write the machine-readable run report (stable JSON schema)";
     let (args, gopts) = parse_guard_flags(args)?;
     let Some(command) = args.first() else {
         return err(usage);
@@ -363,6 +379,12 @@ where
     let input = parse_input(&text)?;
     let db = &input.database;
     let mut out = String::new();
+    // Armed only on request: without a metrics flag the registry stays
+    // disarmed and every instrumentation site is a single relaxed load,
+    // so the output (and the work done) is byte-identical to a build
+    // without the observability layer.
+    let recorder = gopts.wants_metrics().then(Recorder::arm);
+    let mut sections: Vec<(&'static str, Json)> = Vec::new();
 
     match command.as_str() {
         "analyze" => {
@@ -441,6 +463,9 @@ where
                     let _ = writeln!(out, "τ = {}", r.plan.cost);
                 }
                 let _ = writeln!(out, "degradation: {}", r.report);
+                if recorder.is_some() {
+                    sections.push(("degradation", mjoin::degradation_section(&r.report)));
+                }
             } else if threads > 1 {
                 // Multi-core search over one shared memo: level-parallel DP
                 // for the product-free spaces, sequential DP over the shared
@@ -582,6 +607,12 @@ where
             }
             out.push_str(&outcome.trace.render(db.catalog(), db.scheme()));
             let _ = writeln!(out, "result: {} tuples", outcome.result.tau());
+            if recorder.is_some() {
+                sections.push((
+                    "adaptive",
+                    outcome.trace.to_section(db.catalog(), db.scheme()),
+                ));
+            }
         }
         "cost" => {
             let Some(expr) = args.get(2) else {
@@ -796,6 +827,22 @@ where
             }
         }
         other => return err(format!("unknown command {other:?}\n{usage}")),
+    }
+    if let Some(rec) = recorder {
+        let snapshot = rec.snapshot();
+        drop(rec);
+        let mut report = RunReport::new(command, gopts.threads(), snapshot);
+        for (name, value) in sections {
+            report = report.with_section(name, value);
+        }
+        if gopts.metrics {
+            out.push_str(&report.to_table());
+        }
+        if let Some(path) = &gopts.metrics_json {
+            let text = mjoin::render_run_report(&report).map_err(fail)?;
+            std::fs::write(path, text)
+                .map_err(|e| CliError(format!("--metrics-json {path}: {e}")))?;
+        }
     }
     Ok(out)
 }
@@ -1113,6 +1160,79 @@ domain C 10
         assert!(out.starts_with("digraph strategy {"), "{out}");
         assert!(out.contains("GS"), "{out}");
         assert!(out.contains("style=dashed"), "Example 4's optimum uses a product");
+    }
+
+    #[test]
+    fn metrics_flag_appends_table_without_touching_the_report() {
+        // Pinned to one thread so the table header (and the memo-hit
+        // split between the plain and shared oracles) is stable under an
+        // ambient MJOIN_THREADS.
+        let plain = run_ok(&["optimize", "db.mj", "--threads", "1"]);
+        let with = run_ok(&["optimize", "db.mj", "--threads", "1", "--metrics"]);
+        // The metrics table is strictly appended: everything before it is
+        // byte-identical to the metrics-free run.
+        assert!(with.starts_with(&plain), "{with}");
+        let table = &with[plain.len()..];
+        assert!(table.contains("metrics (optimize @ 1 thread)"), "{table}");
+        assert!(table.contains("dp.subsets_expanded"), "{table}");
+        assert!(table.contains("oracle.subsets_materialized"), "{table}");
+    }
+
+    #[test]
+    fn metrics_json_writes_a_schema_valid_report() {
+        let path = std::env::temp_dir().join("mjoin-cli-metrics-test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = run(
+            &[
+                "execute".to_string(),
+                "db.mj".to_string(),
+                "--metrics-json".to_string(),
+                path_str.clone(),
+            ],
+            fake_fs,
+        )
+        .unwrap();
+        // The JSON goes to the file, not the report text.
+        assert!(!out.contains("schema_version"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = mjoin_obs::json::parse(&text).unwrap();
+        mjoin_obs::validate_schema(&doc).unwrap();
+        assert_eq!(doc.get("command").and_then(Json::as_str), Some("execute"));
+        let adaptive = doc.get("adaptive").expect("adaptive section present");
+        assert!(adaptive.get("q_error_histogram").is_some());
+        assert!(
+            doc.get("counters")
+                .and_then(|c| c.get("adaptive.stages_executed"))
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn budgeted_metrics_json_carries_the_degradation_section() {
+        let path = std::env::temp_dir().join("mjoin-cli-metrics-degr-test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        run(
+            &[
+                "optimize".to_string(),
+                "db.mj".to_string(),
+                "--timeout-ms".to_string(),
+                "60000".to_string(),
+                "--metrics-json".to_string(),
+                path_str,
+            ],
+            fake_fs,
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = mjoin_obs::json::parse(&text).unwrap();
+        mjoin_obs::validate_schema(&doc).unwrap();
+        let degr = doc.get("degradation").expect("degradation section present");
+        assert!(degr.get("answered_by").and_then(Json::as_str).is_some());
+        assert!(degr.get("attempts").is_some());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -52,6 +52,7 @@ fn every_site_is_reachable_from_the_cli() {
         ("adaptive::materialize", &["execute", "db"]),
         ("adaptive::stage", &["execute", "db"]),
         ("adaptive::replan", &["execute", "drift", "--adaptive", "--replan-threshold", "4"]),
+        ("obs::report", &["optimize", "db", "--metrics-json", "/dev/null"]),
     ];
     let routed: Vec<&str> = routes.iter().map(|(s, _)| *s).collect();
     for site in mjoin::failpoints::SITES {

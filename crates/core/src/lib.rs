@@ -49,6 +49,7 @@
 
 pub mod conditions;
 pub mod derived;
+pub mod report;
 pub mod rewrites;
 pub mod robust;
 pub mod theorems;
@@ -58,9 +59,10 @@ mod facade;
 pub use conditions::{condition_report, first_violation, satisfies, Condition, ConditionReport, Violation};
 pub use derived::{derive_database, DerivedDatabase, DerivedLeaf};
 pub use facade::{analyze, analyze_guarded, optimize_database, optimize_database_guarded, Analysis};
+pub use report::{degradation_section, render_run_report};
 pub use robust::{
     optimize_database_robust, optimize_database_robust_threaded, optimize_robust,
-    optimize_robust_threaded, DegradationReport, RobustPlan, Rung, RungAttempt,
+    optimize_robust_threaded, DegradationReport, RobustPlan, Rung, RungAttempt, RungStats,
 };
 pub use theorems::{lemma1_check, lemma4_conclusion, lemma5_check, lemma6_check, theorem1, theorem2, theorem3, TheoremReport};
 

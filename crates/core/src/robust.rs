@@ -25,11 +25,12 @@
 //! not for masking bugs or overriding the user.
 
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mjoin_cost::{CardinalityOracle, Database, ExactOracle, SharedOracle};
 use mjoin_guard::{failpoints, Budget, CancelToken, Guard, MjoinError};
 use mjoin_hypergraph::RelSet;
+use mjoin_obs::{incr, span, Counter, Span};
 use mjoin_optimizer::{
     try_best_avoid_cartesian_parallel, try_best_no_cartesian_parallel, try_greedy_bushy,
     try_greedy_linear, try_optimize, DpAlgorithm, Plan, SearchSpace,
@@ -64,6 +65,19 @@ impl fmt::Display for Rung {
     }
 }
 
+/// Resources one rung consumed before answering, failing, or being
+/// skipped: wall-clock elapsed plus the budget drawn from its guard.
+/// All zero for rungs skipped without running.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RungStats {
+    /// Wall time the rung ran for (a timing — not deterministic).
+    pub elapsed: Duration,
+    /// Memo entries charged to the rung's budget slice.
+    pub memo_used: u64,
+    /// Intermediate tuples charged to the rung's budget slice.
+    pub tuples_used: u64,
+}
+
 /// What happened to one rung that did *not* answer.
 #[derive(Clone, Debug)]
 pub struct RungAttempt {
@@ -72,6 +86,18 @@ pub struct RungAttempt {
     /// Why it didn't answer — a budget error, an empty search space, or a
     /// skip note.
     pub outcome: String,
+    /// What the attempt cost before it gave up (zero when skipped).
+    pub stats: RungStats,
+}
+
+impl RungAttempt {
+    fn skipped(rung: Rung, outcome: String) -> Self {
+        RungAttempt {
+            rung,
+            outcome,
+            stats: RungStats::default(),
+        }
+    }
 }
 
 /// Which rung answered, and why the ones above it didn't.
@@ -89,6 +115,8 @@ pub struct DegradationReport {
     /// rung ignores space restrictions, which can be unsatisfiable
     /// (product-free spaces over unconnected schemes).
     pub space_relaxed: bool,
+    /// Resources the *answering* rung consumed.
+    pub answered_stats: RungStats,
 }
 
 impl DegradationReport {
@@ -98,6 +126,7 @@ impl DegradationReport {
             attempts,
             optimal: matches!(rung, Rung::Exhaustive | Rung::Dp),
             space_relaxed: matches!(rung, Rung::Fallback),
+            answered_stats: RungStats::default(),
         }
     }
 }
@@ -153,6 +182,16 @@ fn rung_guard(budget: Budget, cancel: Option<&CancelToken>) -> Guard {
     }
 }
 
+/// Reads what a finished rung consumed: wall time since `started`, plus
+/// the memo/tuple charges accumulated on its guard.
+fn rung_stats(started: Instant, guard: &Guard) -> RungStats {
+    RungStats {
+        elapsed: started.elapsed(),
+        memo_used: guard.memo_used(),
+        tuples_used: guard.tuples_used(),
+    }
+}
+
 /// Does `strategy` belong to `space`?
 fn in_space(s: &Strategy, space: SearchSpace, scheme: &mjoin_hypergraph::DbScheme) -> bool {
     match space {
@@ -187,6 +226,7 @@ pub fn optimize_robust(
             "cannot optimize the empty database".into(),
         ));
     }
+    let _opt_span = span(Span::Optimize);
     let started = Instant::now();
     let mut attempts: Vec<RungAttempt> = Vec::new();
     let mut oracle = ExactOracle::new(db);
@@ -194,37 +234,41 @@ pub fn optimize_robust(
 
     // Rung 1: exhaustive enumeration (small subsets only).
     if subset.len() > EXHAUSTIVE_MAX_RELS {
-        attempts.push(RungAttempt {
-            rung: Rung::Exhaustive,
-            outcome: format!(
+        attempts.push(RungAttempt::skipped(
+            Rung::Exhaustive,
+            format!(
                 "skipped: {} relations exceed the {}-relation enumeration cutoff",
                 subset.len(),
                 EXHAUSTIVE_MAX_RELS
             ),
-        });
+        ));
     } else {
         match rung_budget(&budget, started, 1, 4) {
-            None => attempts.push(RungAttempt {
-                rung: Rung::Exhaustive,
-                outcome: "skipped: deadline already exhausted".into(),
-            }),
+            None => attempts.push(RungAttempt::skipped(
+                Rung::Exhaustive,
+                "skipped: deadline already exhausted".into(),
+            )),
             Some(b) => {
                 let guard = rung_guard(b, cancel);
                 oracle.rearm(guard.clone());
+                incr(Counter::LadderRungsAttempted, 1);
+                let _rung_span = span(Span::LadderRung);
+                let rung_started = Instant::now();
                 match exhaustive_rung(&mut oracle, subset, space, &guard) {
                     Ok(Some(plan)) => {
-                        return Ok(RobustPlan {
-                            plan,
-                            report: DegradationReport::clean(Rung::Exhaustive, attempts),
-                        })
+                        let mut report = DegradationReport::clean(Rung::Exhaustive, attempts);
+                        report.answered_stats = rung_stats(rung_started, &guard);
+                        return Ok(RobustPlan { plan, report })
                     }
                     Ok(None) => attempts.push(RungAttempt {
                         rung: Rung::Exhaustive,
                         outcome: format!("search space {space:?} is empty for this scheme"),
+                        stats: rung_stats(rung_started, &guard),
                     }),
                     Err(e) if degradable(&e) => attempts.push(RungAttempt {
                         rung: Rung::Exhaustive,
                         outcome: e.to_string(),
+                        stats: rung_stats(rung_started, &guard),
                     }),
                     Err(e) => return Err(e),
                 }
@@ -234,27 +278,31 @@ pub fn optimize_robust(
 
     // Rung 2: the space's DP.
     match rung_budget(&budget, started, 1, 2) {
-        None => attempts.push(RungAttempt {
-            rung: Rung::Dp,
-            outcome: "skipped: deadline already exhausted".into(),
-        }),
+        None => attempts.push(RungAttempt::skipped(
+            Rung::Dp,
+            "skipped: deadline already exhausted".into(),
+        )),
         Some(b) => {
             let guard = rung_guard(b, cancel);
             oracle.rearm(guard.clone());
+            incr(Counter::LadderRungsAttempted, 1);
+            let _rung_span = span(Span::LadderRung);
+            let rung_started = Instant::now();
             match try_optimize(&mut oracle, subset, space, &guard) {
                 Ok(Some(plan)) => {
-                    return Ok(RobustPlan {
-                        plan,
-                        report: DegradationReport::clean(Rung::Dp, attempts),
-                    })
+                    let mut report = DegradationReport::clean(Rung::Dp, attempts);
+                    report.answered_stats = rung_stats(rung_started, &guard);
+                    return Ok(RobustPlan { plan, report })
                 }
                 Ok(None) => attempts.push(RungAttempt {
                     rung: Rung::Dp,
                     outcome: format!("search space {space:?} is empty for this scheme"),
+                    stats: rung_stats(rung_started, &guard),
                 }),
                 Err(e) if degradable(&e) => attempts.push(RungAttempt {
                     rung: Rung::Dp,
                     outcome: e.to_string(),
+                    stats: rung_stats(rung_started, &guard),
                 }),
                 Err(e) => return Err(e),
             }
@@ -270,13 +318,16 @@ pub fn optimize_robust(
         SearchSpace::Linear | SearchSpace::LinearNoCartesian
     );
     match rung_budget(&budget, started, 1, 1) {
-        None => attempts.push(RungAttempt {
-            rung: Rung::Greedy,
-            outcome: "skipped: deadline already exhausted".into(),
-        }),
+        None => attempts.push(RungAttempt::skipped(
+            Rung::Greedy,
+            "skipped: deadline already exhausted".into(),
+        )),
         Some(b) => {
             let guard = rung_guard(b, cancel);
             oracle.rearm(guard.clone());
+            incr(Counter::LadderRungsAttempted, 1);
+            let _rung_span = span(Span::LadderRung);
+            let rung_started = Instant::now();
             let result = if linear_space {
                 try_greedy_linear(&mut oracle, subset, &guard)
             } else {
@@ -287,11 +338,13 @@ pub fn optimize_robust(
                     let relaxed = !in_space(&plan.strategy, space, &scheme);
                     let mut report = DegradationReport::clean(Rung::Greedy, attempts);
                     report.space_relaxed = relaxed;
+                    report.answered_stats = rung_stats(rung_started, &guard);
                     return Ok(RobustPlan { plan, report });
                 }
                 Err(e) if degradable(&e) => attempts.push(RungAttempt {
                     rung: Rung::Greedy,
                     outcome: e.to_string(),
+                    stats: rung_stats(rung_started, &guard),
                 }),
                 Err(e) => return Err(e),
             }
@@ -302,17 +355,23 @@ pub fn optimize_robust(
     // access. Costing it is best-effort under whatever budget remains.
     let order: Vec<usize> = subset.iter().collect();
     let strategy = Strategy::left_deep(&order);
-    let cost = match rung_budget(&budget, started, 1, 1) {
-        None => u64::MAX,
+    incr(Counter::LadderRungsAttempted, 1);
+    let _rung_span = span(Span::LadderRung);
+    let rung_started = Instant::now();
+    let (cost, stats) = match rung_budget(&budget, started, 1, 1) {
+        None => (u64::MAX, RungStats::default()),
         Some(b) => {
             let guard = rung_guard(b, cancel);
             oracle.rearm(guard.clone());
-            strategy.try_cost(&mut oracle).unwrap_or(u64::MAX)
+            let cost = strategy.try_cost(&mut oracle).unwrap_or(u64::MAX);
+            (cost, rung_stats(rung_started, &guard))
         }
     };
+    let mut report = DegradationReport::clean(Rung::Fallback, attempts);
+    report.answered_stats = stats;
     Ok(RobustPlan {
         plan: Plan { strategy, cost },
-        report: DegradationReport::clean(Rung::Fallback, attempts),
+        report,
     })
 }
 
@@ -327,6 +386,7 @@ fn exhaustive_rung(
     let scheme = oracle.scheme().clone();
     let mut best: Option<Plan> = None;
     try_for_each_strategy(subset, guard, &mut |s: &Strategy| {
+        incr(Counter::ExhaustiveStrategies, 1);
         if !in_space(s, space, &scheme) {
             return Ok(());
         }
@@ -376,6 +436,7 @@ pub fn optimize_robust_threaded(
             "cannot optimize the empty database".into(),
         ));
     }
+    let _opt_span = span(Span::Optimize);
     let started = Instant::now();
     let mut attempts: Vec<RungAttempt> = Vec::new();
     let mut oracle = SharedOracle::new(db).with_join_threads(threads);
@@ -383,23 +444,26 @@ pub fn optimize_robust_threaded(
 
     // Rung 1: parallel exhaustive enumeration (small subsets only).
     if subset.len() > EXHAUSTIVE_MAX_RELS {
-        attempts.push(RungAttempt {
-            rung: Rung::Exhaustive,
-            outcome: format!(
+        attempts.push(RungAttempt::skipped(
+            Rung::Exhaustive,
+            format!(
                 "skipped: {} relations exceed the {}-relation enumeration cutoff",
                 subset.len(),
                 EXHAUSTIVE_MAX_RELS
             ),
-        });
+        ));
     } else {
         match rung_budget(&budget, started, 1, 4) {
-            None => attempts.push(RungAttempt {
-                rung: Rung::Exhaustive,
-                outcome: "skipped: deadline already exhausted".into(),
-            }),
+            None => attempts.push(RungAttempt::skipped(
+                Rung::Exhaustive,
+                "skipped: deadline already exhausted".into(),
+            )),
             Some(b) => {
                 let guard = rung_guard(b, cancel);
                 oracle.rearm(guard.clone());
+                incr(Counter::LadderRungsAttempted, 1);
+                let _rung_span = span(Span::LadderRung);
+                let rung_started = Instant::now();
                 let result = failpoints::hit("optimizer::exhaustive").and_then(|()| {
                     try_best_strategy_parallel(&oracle, subset, &guard, threads, &|s| {
                         in_space(s, space, &scheme)
@@ -407,18 +471,22 @@ pub fn optimize_robust_threaded(
                 });
                 match result {
                     Ok(Some((strategy, cost))) => {
+                        let mut report = DegradationReport::clean(Rung::Exhaustive, attempts);
+                        report.answered_stats = rung_stats(rung_started, &guard);
                         return Ok(RobustPlan {
                             plan: Plan { strategy, cost },
-                            report: DegradationReport::clean(Rung::Exhaustive, attempts),
+                            report,
                         })
                     }
                     Ok(None) => attempts.push(RungAttempt {
                         rung: Rung::Exhaustive,
                         outcome: format!("search space {space:?} is empty for this scheme"),
+                        stats: rung_stats(rung_started, &guard),
                     }),
                     Err(e) if degradable(&e) => attempts.push(RungAttempt {
                         rung: Rung::Exhaustive,
                         outcome: e.to_string(),
+                        stats: rung_stats(rung_started, &guard),
                     }),
                     Err(e) => return Err(e),
                 }
@@ -429,13 +497,16 @@ pub fn optimize_robust_threaded(
     // Rung 2: the space's DP — level-parallel for the product-free spaces,
     // sequential over the shared memo for the rest.
     match rung_budget(&budget, started, 1, 2) {
-        None => attempts.push(RungAttempt {
-            rung: Rung::Dp,
-            outcome: "skipped: deadline already exhausted".into(),
-        }),
+        None => attempts.push(RungAttempt::skipped(
+            Rung::Dp,
+            "skipped: deadline already exhausted".into(),
+        )),
         Some(b) => {
             let guard = rung_guard(b, cancel);
             oracle.rearm(guard.clone());
+            incr(Counter::LadderRungsAttempted, 1);
+            let _rung_span = span(Span::LadderRung);
+            let rung_started = Instant::now();
             let result = match space {
                 SearchSpace::NoCartesian => try_best_no_cartesian_parallel(
                     &oracle,
@@ -455,18 +526,19 @@ pub fn optimize_robust_threaded(
             };
             match result {
                 Ok(Some(plan)) => {
-                    return Ok(RobustPlan {
-                        plan,
-                        report: DegradationReport::clean(Rung::Dp, attempts),
-                    })
+                    let mut report = DegradationReport::clean(Rung::Dp, attempts);
+                    report.answered_stats = rung_stats(rung_started, &guard);
+                    return Ok(RobustPlan { plan, report })
                 }
                 Ok(None) => attempts.push(RungAttempt {
                     rung: Rung::Dp,
                     outcome: format!("search space {space:?} is empty for this scheme"),
+                    stats: rung_stats(rung_started, &guard),
                 }),
                 Err(e) if degradable(&e) => attempts.push(RungAttempt {
                     rung: Rung::Dp,
                     outcome: e.to_string(),
+                    stats: rung_stats(rung_started, &guard),
                 }),
                 Err(e) => return Err(e),
             }
@@ -480,13 +552,16 @@ pub fn optimize_robust_threaded(
         SearchSpace::Linear | SearchSpace::LinearNoCartesian
     );
     match rung_budget(&budget, started, 1, 1) {
-        None => attempts.push(RungAttempt {
-            rung: Rung::Greedy,
-            outcome: "skipped: deadline already exhausted".into(),
-        }),
+        None => attempts.push(RungAttempt::skipped(
+            Rung::Greedy,
+            "skipped: deadline already exhausted".into(),
+        )),
         Some(b) => {
             let guard = rung_guard(b, cancel);
             oracle.rearm(guard.clone());
+            incr(Counter::LadderRungsAttempted, 1);
+            let _rung_span = span(Span::LadderRung);
+            let rung_started = Instant::now();
             let mut handle = oracle.handle();
             let result = if linear_space {
                 try_greedy_linear(&mut handle, subset, &guard)
@@ -498,11 +573,13 @@ pub fn optimize_robust_threaded(
                     let relaxed = !in_space(&plan.strategy, space, &scheme);
                     let mut report = DegradationReport::clean(Rung::Greedy, attempts);
                     report.space_relaxed = relaxed;
+                    report.answered_stats = rung_stats(rung_started, &guard);
                     return Ok(RobustPlan { plan, report });
                 }
                 Err(e) if degradable(&e) => attempts.push(RungAttempt {
                     rung: Rung::Greedy,
                     outcome: e.to_string(),
+                    stats: rung_stats(rung_started, &guard),
                 }),
                 Err(e) => return Err(e),
             }
@@ -512,17 +589,23 @@ pub fn optimize_robust_threaded(
     // Rung 4: index-order left-deep, costed best-effort.
     let order: Vec<usize> = subset.iter().collect();
     let strategy = Strategy::left_deep(&order);
-    let cost = match rung_budget(&budget, started, 1, 1) {
-        None => u64::MAX,
+    incr(Counter::LadderRungsAttempted, 1);
+    let _rung_span = span(Span::LadderRung);
+    let rung_started = Instant::now();
+    let (cost, stats) = match rung_budget(&budget, started, 1, 1) {
+        None => (u64::MAX, RungStats::default()),
         Some(b) => {
             let guard = rung_guard(b, cancel);
             oracle.rearm(guard.clone());
-            strategy.try_cost(&mut oracle.handle()).unwrap_or(u64::MAX)
+            let cost = strategy.try_cost(&mut oracle.handle()).unwrap_or(u64::MAX);
+            (cost, rung_stats(rung_started, &guard))
         }
     };
+    let mut report = DegradationReport::clean(Rung::Fallback, attempts);
+    report.answered_stats = stats;
     Ok(RobustPlan {
         plan: Plan { strategy, cost },
-        report: DegradationReport::clean(Rung::Fallback, attempts),
+        report,
     })
 }
 

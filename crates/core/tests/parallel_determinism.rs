@@ -199,3 +199,74 @@ fn tripping_budgets_error_identically_at_every_thread_count() {
         assert_eq!(enum_err(threads), base, "enumeration error at {threads} threads");
     }
 }
+
+#[test]
+fn shared_oracle_distinct_subset_count_is_thread_invariant() {
+    // The shared oracle charges each distinct subset exactly once, under
+    // its shard's write lock — so while racing workers may *compute* a
+    // subset twice (`oracle.shared_duplicate_materializations`), the
+    // distinct-subset counter must not move with the thread count.
+    use mjoin_obs::{Counter, Recorder};
+    for seed in 0..4u64 {
+        let db = random_db(6, seed.wrapping_add(300));
+        let subset = db.scheme().full_set();
+        let count = |threads: usize| {
+            let rec = Recorder::arm();
+            let oracle = SharedOracle::new(&db);
+            try_best_no_cartesian_parallel(
+                &oracle,
+                subset,
+                DpAlgorithm::DpCcp,
+                &Guard::unlimited(),
+                threads,
+            )
+            .unwrap();
+            rec.snapshot().counter(Counter::OracleSharedDistinctSubsets)
+        };
+        let base = count(1);
+        assert!(base > 0, "seed {seed}: the DP must materialize subsets");
+        for threads in [2, 4] {
+            assert_eq!(
+                count(threads),
+                base,
+                "seed {seed}: distinct-subset count moved at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_replan_count_is_thread_invariant() {
+    // Replans trigger on q-errors, which depend only on (seed, subset) —
+    // never on how many workers materialized the stages. Both the trace
+    // and the `adaptive.replans` counter must agree at 1, 2, and 4 threads.
+    use mjoin_adaptive::{plan_and_execute, AdaptiveConfig, Estimation};
+    use mjoin_obs::{Counter, Recorder};
+    for seed in 0..3u64 {
+        let db = random_db(6, seed.wrapping_add(400));
+        let estimation = Estimation::Noisy { q: 16.0, seed };
+        let run = |threads: usize| {
+            let rec = Recorder::arm();
+            let config = AdaptiveConfig {
+                threads,
+                replan_threshold: 1.5,
+                ..AdaptiveConfig::default()
+            };
+            let (_, outcome) = plan_and_execute(&db, &estimation, &config).unwrap();
+            (
+                outcome.trace.replans.len(),
+                rec.snapshot().counter(Counter::AdaptiveReplans),
+                outcome.result.tau(),
+                outcome.trace.executed_tau,
+            )
+        };
+        let base = run(1);
+        assert_eq!(
+            base.0 as u64, base.1,
+            "seed {seed}: trace and counter disagree on replans"
+        );
+        for threads in [2, 4] {
+            assert_eq!(run(threads), base, "seed {seed} at {threads} threads");
+        }
+    }
+}

@@ -105,6 +105,7 @@ impl<O> NoisyOracle<O> {
     /// 0 (known-empty), `u64::MAX` (saturated/tripped) and singleton
     /// exactness, and flooring perturbed nonzero answers at 1.
     fn perturb(&self, subset: RelSet, t: u64) -> u64 {
+        mjoin_obs::incr(mjoin_obs::Counter::OracleNoisyEstimates, 1);
         if t == 0 || t == u64::MAX || subset.is_singleton() {
             return t;
         }

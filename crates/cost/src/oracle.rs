@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_obs as obs;
 use mjoin_relation::{JoinAlgorithm, Relation};
 
 use crate::database::Database;
@@ -182,6 +183,7 @@ impl<'a> ExactOracle<'a> {
         }
         failpoints::hit("cost::materialize")?;
         if let Some(r) = self.memo.get(&subset) {
+            obs::incr(obs::Counter::OracleMemoHits, 1);
             return Ok(Arc::clone(r));
         }
         let result = if subset.is_singleton() {
@@ -203,6 +205,7 @@ impl<'a> ExactOracle<'a> {
                 &self.guard,
             )?)
         };
+        obs::incr(obs::Counter::OracleSubsetsMaterialized, 1);
         if self.memo_enabled {
             self.guard.charge_memo(1)?;
             self.memo.insert(subset, Arc::clone(&result));

@@ -26,6 +26,7 @@ use std::sync::{Arc, RwLock};
 
 use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_obs as obs;
 use mjoin_relation::{JoinAlgorithm, Relation};
 
 use crate::database::Database;
@@ -147,6 +148,7 @@ impl<'a> SharedOracle<'a> {
         }
         failpoints::hit("cost::materialize")?;
         if let Some(r) = read_shard(&self.shards[shard_of(subset)]).get(&subset) {
+            obs::incr(obs::Counter::OracleSharedHits, 1);
             return Ok(Arc::clone(r));
         }
         let result = if subset.is_singleton() {
@@ -192,9 +194,11 @@ impl<'a> SharedOracle<'a> {
         let shard = &self.shards[shard_of(subset)];
         let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
         if let Some(existing) = map.get(&subset) {
+            obs::incr(obs::Counter::OracleSharedDuplicateMaterializations, 1);
             return Ok(Arc::clone(existing));
         }
         self.guard.charge_memo(1)?;
+        obs::incr(obs::Counter::OracleSharedDistinctSubsets, 1);
         map.insert(subset, Arc::clone(&rel));
         Ok(rel)
     }

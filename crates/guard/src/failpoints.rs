@@ -31,6 +31,7 @@ pub const SITES: &[&str] = &[
     "adaptive::materialize",
     "adaptive::stage",
     "adaptive::replan",
+    "obs::report",
 ];
 
 static ANY_ARMED: AtomicBool = AtomicBool::new(false);

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use mjoin_cost::{CardinalityOracle, SharedHandle, SyncCardinalityOracle};
 use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_obs::{incr, Counter};
 use mjoin_strategy::Strategy;
 
 use crate::plan::Plan;
@@ -84,7 +85,9 @@ fn bushy_rec<O: CardinalityOracle>(
     let own = oracle.try_tau(s)?;
     let mut best = u64::MAX;
     let mut best_split = None;
+    let mut scanned = 0u64;
     for (s1, s2) in s.proper_splits() {
+        scanned += 1;
         let c = bushy_rec(oracle, s1, memo, guard)?
             .saturating_add(bushy_rec(oracle, s2, memo, guard)?);
         if c < best {
@@ -92,8 +95,10 @@ fn bushy_rec<O: CardinalityOracle>(
             best_split = Some((s1, s2));
         }
     }
+    incr(Counter::DpCandidatesScanned, scanned);
     let total = own.saturating_add(best);
     guard.charge_memo(1)?;
+    incr(Counter::DpSubsetsExpanded, 1);
     memo.insert(s, (total, best_split));
     Ok(total)
 }
@@ -171,7 +176,10 @@ fn linear_rec<O: CardinalityOracle>(
     let own = oracle.try_tau(s)?;
     let mut best = u64::MAX;
     let mut best_last = None;
+    let mut scanned = 0u64;
+    let mut pruned = 0u64;
     for last in s.iter() {
+        scanned += 1;
         let rest = s.difference(RelSet::singleton(last));
         // Product-free linear strategies have *connected* prefixes (each
         // step joins linked sets, and unions of linked connected sets are
@@ -181,6 +189,7 @@ fn linear_rec<O: CardinalityOracle>(
             && (!oracle.scheme().linked(rest, RelSet::singleton(last))
                 || !oracle.scheme().connected(rest))
         {
+            pruned += 1;
             continue;
         }
         let c = linear_rec(oracle, rest, no_cartesian, memo, guard)?;
@@ -189,12 +198,15 @@ fn linear_rec<O: CardinalityOracle>(
             best_last = Some(last);
         }
     }
+    incr(Counter::DpCandidatesScanned, scanned);
+    incr(Counter::DpCandidatesPruned, pruned);
     let total = if best == u64::MAX {
         u64::MAX
     } else {
         own.saturating_add(best)
     };
     guard.charge_memo(1)?;
+    incr(Counter::DpSubsetsExpanded, 1);
     memo.insert(s, (total, best_last));
     Ok(total)
 }
@@ -256,16 +268,22 @@ fn ccp_best_split(
     let lowest = RelSet::singleton(first);
     let mut best = u64::MAX;
     let mut best_split = None;
+    let mut scanned = 0u64;
+    let mut pruned = 0u64;
     for s1 in scheme.connected_subsets(s) {
         guard.checkpoint()?;
+        scanned += 1;
         if s1 == s || !lowest.is_subset_of(s1) {
+            pruned += 1;
             continue;
         }
         let s2 = s.difference(s1);
         if !scheme.connected(s2) || !scheme.linked(s1, s2) {
+            pruned += 1;
             continue;
         }
         let (Some(&(c1, _)), Some(&(c2, _))) = (table.get(&s1), table.get(&s2)) else {
+            pruned += 1;
             continue;
         };
         let cost = c1.saturating_add(c2);
@@ -274,6 +292,8 @@ fn ccp_best_split(
             best_split = Some((s1, s2));
         }
     }
+    incr(Counter::DpCandidatesScanned, scanned);
+    incr(Counter::DpCandidatesPruned, pruned);
     Ok(best_split.map(|split| (split, best)))
 }
 
@@ -291,6 +311,7 @@ fn nocp_dpccp<O: CardinalityOracle>(
         guard.checkpoint()?;
         if s.is_singleton() {
             guard.charge_memo(1)?;
+            incr(Counter::DpSubsetsExpanded, 1);
             table.insert(s, (0, None));
             continue;
         }
@@ -298,6 +319,7 @@ fn nocp_dpccp<O: CardinalityOracle>(
         if let Some((split, children)) = found {
             let total = oracle.try_tau(s)?.saturating_add(children);
             guard.charge_memo(1)?;
+            incr(Counter::DpSubsetsExpanded, 1);
             table.insert(s, (total, Some(split)));
         }
     }
@@ -325,19 +347,24 @@ fn nocp_rec<O: CardinalityOracle>(
     guard.checkpoint()?;
     let mut best = u64::MAX;
     let mut best_split = None;
+    let mut scanned = 0u64;
+    let mut pruned = 0u64;
     // Product-free strategies only ever produce connected node sets, so
     // both halves must be connected and linked to each other.
     for (s1, s2) in s.proper_splits() {
+        scanned += 1;
         if !oracle.scheme().connected(s1)
             || !oracle.scheme().connected(s2)
             || !oracle.scheme().linked(s1, s2)
         {
+            pruned += 1;
             continue;
         }
         let (Some(c1), Some(c2)) = (
             nocp_rec(oracle, s1, memo, guard)?,
             nocp_rec(oracle, s2, memo, guard)?,
         ) else {
+            pruned += 1;
             continue;
         };
         let c = c1.saturating_add(c2);
@@ -346,7 +373,10 @@ fn nocp_rec<O: CardinalityOracle>(
             best_split = Some((s1, s2));
         }
     }
+    incr(Counter::DpCandidatesScanned, scanned);
+    incr(Counter::DpCandidatesPruned, pruned);
     guard.charge_memo(1)?;
+    incr(Counter::DpSubsetsExpanded, 1);
     if best == u64::MAX {
         memo.insert(s, (u64::MAX, None));
         Ok(None)
@@ -375,23 +405,30 @@ fn dpsize_best_split(
 ) -> BestSplit {
     let size = u.len();
     let mut best: Option<(u64, (RelSet, RelSet))> = None;
+    let mut scanned = 0u64;
+    let mut pruned = 0u64;
     for (a, bucket) in by_size.iter().enumerate().take(size / 2 + 1).skip(1) {
         let b = size - a;
         for &s1 in bucket {
             guard.checkpoint()?;
+            scanned += 1;
             if !s1.is_subset_of(u) {
+                pruned += 1;
                 continue;
             }
             let s2 = u.difference(s1);
             if a == b && s2.0 <= s1.0 {
+                pruned += 1;
                 continue; // each unordered pair once
             }
             if !scheme.linked(s1, s2) {
+                pruned += 1;
                 continue;
             }
             // `s2` may fail to be connected or reachable; either way it has
             // no table entry and the pair is skipped.
             let (Some(&(c1, _)), Some(&(c2, _))) = (table.get(&s1), table.get(&s2)) else {
+                pruned += 1;
                 continue;
             };
             let cost = c1.saturating_add(c2);
@@ -400,6 +437,8 @@ fn dpsize_best_split(
             }
         }
     }
+    incr(Counter::DpCandidatesScanned, scanned);
+    incr(Counter::DpCandidatesPruned, pruned);
     Ok(best.map(|(cost, split)| (split, cost)))
 }
 
@@ -418,6 +457,7 @@ fn nocp_dpsize<O: CardinalityOracle>(
     let mut table: SplitMemo = HashMap::new();
     for &s in &by_size[1] {
         guard.charge_memo(1)?;
+        incr(Counter::DpSubsetsExpanded, 1);
         table.insert(s, (0, None));
     }
     for size in 2..=n {
@@ -427,6 +467,7 @@ fn nocp_dpsize<O: CardinalityOracle>(
             if let Some((split, children)) = found {
                 let total = oracle.try_tau(u)?.saturating_add(children);
                 guard.charge_memo(1)?;
+                incr(Counter::DpSubsetsExpanded, 1);
                 table.insert(u, (total, Some(split)));
             }
         }
@@ -518,6 +559,7 @@ fn combine_component_plans(
         }
         let total = own.saturating_add(best);
         guard.charge_memo(1)?;
+        incr(Counter::DpSubsetsExpanded, 1);
         memo.insert(cs, (total, best_split));
         Ok(total)
     }
@@ -659,6 +701,7 @@ pub fn try_best_no_cartesian_parallel<O: SyncCardinalityOracle>(
     let mut table: SplitMemo = HashMap::new();
     for &s in &by_size[1] {
         guard.charge_memo(1)?;
+        incr(Counter::DpSubsetsExpanded, 1);
         table.insert(s, (0, None));
     }
     for size in 2..=n {
@@ -683,6 +726,7 @@ pub fn try_best_no_cartesian_parallel<O: SyncCardinalityOracle>(
         for (i, r) in results.into_iter().enumerate() {
             if let Some((total, split)) = r {
                 guard.charge_memo(1)?;
+                incr(Counter::DpSubsetsExpanded, 1);
                 table.insert(by_size[size][i], (total, Some(split)));
             }
         }

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use mjoin_cost::CardinalityOracle;
 use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::RelSet;
+use mjoin_obs::{incr, Counter};
 use mjoin_strategy::Strategy;
 
 use crate::plan::Plan;
@@ -63,6 +64,7 @@ pub fn try_greedy_bushy<O: CardinalityOracle>(
                     Some(&cached) => cached,
                     None => {
                         let linked = oracle.scheme().linked(a, b);
+                        incr(Counter::GreedyOracleCalls, 1);
                         let out = oracle.try_tau_join(a, b)?;
                         pair_cache.insert(key_sets, (linked, out));
                         (linked, out)
@@ -86,6 +88,7 @@ pub fn try_greedy_bushy<O: CardinalityOracle>(
         // Drop the merged trees' rows/columns; every other pair stays valid.
         pair_cache
             .retain(|&(a, b), _| a != si_set && a != sj_set && b != si_set && b != sj_set);
+        incr(Counter::GreedyMerges, 1);
         let merged = Strategy::join(si, sj)
             .map_err(|e| MjoinError::Internal(format!("forest trees must be disjoint: {e}")))?;
         forest.push((si_set.union(sj_set), merged));
@@ -135,6 +138,7 @@ pub fn try_greedy_linear<O: CardinalityOracle>(
         let mut next = None;
         for i in subset.difference(prefix).iter() {
             let linked = oracle.scheme().linked(prefix, RelSet::singleton(i));
+            incr(Counter::GreedyOracleCalls, 1);
             let out = oracle.try_tau_join(prefix, RelSet::singleton(i))?;
             // Smallest intermediate wins; linked breaks ties — the same
             // cost-first order as the bushy heuristic. (Ranking any linked
@@ -148,6 +152,7 @@ pub fn try_greedy_linear<O: CardinalityOracle>(
         let Some((out, _, next)) = next else {
             return Err(MjoinError::Internal("prefix must be proper".into()));
         };
+        incr(Counter::GreedyMerges, 1);
         cost = cost.saturating_add(out);
         prefix.insert(next);
         order.push(next);

@@ -21,6 +21,7 @@
 use mjoin_cost::CardinalityOracle;
 use mjoin_guard::{failpoints, Guard, MjoinError};
 use mjoin_hypergraph::RelSet;
+use mjoin_obs::{incr, Counter};
 use mjoin_strategy::Strategy;
 
 use crate::plan::Plan;
@@ -195,6 +196,7 @@ pub fn try_ikkbz<O: CardinalityOracle>(
             order.extend(m.rels.iter().map(|&local| members[local]));
         }
         let strategy = Strategy::left_deep(&order);
+        incr(Counter::IkkbzOrderings, 1);
         let cost = strategy.try_cost(oracle)?;
         if best.as_ref().is_none_or(|b| cost < b.cost) {
             best = Some(Plan { strategy, cost });

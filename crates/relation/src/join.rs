@@ -12,6 +12,7 @@ use crate::attr::{AttrSet, Attribute};
 use crate::relation::{Relation, Tuple};
 use crate::value::Value;
 use mjoin_guard::{failpoints, Guard, MjoinError};
+use mjoin_obs::{incr, Counter};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
@@ -143,12 +144,14 @@ pub(crate) fn join_guarded(
     guard: &Guard,
 ) -> Result<Relation, MjoinError> {
     failpoints::hit("relation::join")?;
+    incr(Counter::KernelJoins, 1);
     let plan = JoinPlan::new(left, right);
     let tuples = match algorithm {
         JoinAlgorithm::Hash => hash_join(left, right, &plan, guard)?,
         JoinAlgorithm::SortMerge => sort_merge_join(left, right, &plan, guard)?,
         JoinAlgorithm::NestedLoop => nested_loop_join(left, right, &plan, guard)?,
     };
+    incr(Counter::KernelTuplesEmitted, tuples.len() as u64);
     Ok(Relation::from_tuples_unchecked(plan.out_scheme, tuples))
 }
 
@@ -168,6 +171,7 @@ fn hash_join(
     for t in build.tuples() {
         table.entry(plan.key(t, build_is_left)).or_default().push(t);
     }
+    incr(Counter::KernelTuplesProbed, probe.tuples().len() as u64);
     let mut charger = Charger::new(guard);
     let mut out = Vec::new();
     for t in probe.tuples() {
@@ -201,9 +205,11 @@ pub(crate) fn join_partitioned(
     guard: &Guard,
 ) -> Result<Relation, MjoinError> {
     failpoints::hit("relation::join")?;
+    incr(Counter::KernelJoins, 1);
     let plan = JoinPlan::new(left, right);
     if threads <= 1 {
         let tuples = hash_join(left, right, &plan, guard)?;
+        incr(Counter::KernelTuplesEmitted, tuples.len() as u64);
         return Ok(Relation::from_tuples_unchecked(plan.out_scheme, tuples));
     }
     let part_of = |t: &Tuple, is_left: bool| -> usize {
@@ -240,6 +246,7 @@ pub(crate) fn join_partitioned(
     for r in results {
         out.extend(r?);
     }
+    incr(Counter::KernelTuplesEmitted, out.len() as u64);
     Ok(Relation::from_tuples_unchecked(plan.out_scheme, out))
 }
 
@@ -260,6 +267,7 @@ fn hash_join_parts(
     for &t in build {
         table.entry(plan.key(t, build_is_left)).or_default().push(t);
     }
+    incr(Counter::KernelTuplesProbed, probe.len() as u64);
     let mut charger = Charger::new(guard);
     let mut out = Vec::new();
     for &t in probe {
@@ -299,6 +307,7 @@ fn sort_merge_join(
         .collect();
     ls.sort_unstable_by(|a, b| a.0.cmp(&b.0));
     rs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    incr(Counter::KernelTuplesProbed, rs.len() as u64);
 
     let mut charger = Charger::new(guard);
     let mut out = Vec::new();
@@ -336,6 +345,7 @@ fn nested_loop_join(
     plan: &JoinPlan,
     guard: &Guard,
 ) -> Result<Vec<Tuple>, MjoinError> {
+    incr(Counter::KernelTuplesProbed, right.tuples().len() as u64);
     let mut charger = Charger::new(guard);
     let mut out = Vec::new();
     for l in left.tuples() {

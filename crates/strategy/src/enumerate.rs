@@ -9,6 +9,7 @@
 //! the spaces and the counts (experiment `E0-counting`).
 
 use mjoin_cost::{SharedHandle, SyncCardinalityOracle};
+use mjoin_obs::{incr, Counter};
 use mjoin_guard::{Guard, MjoinError};
 use mjoin_hypergraph::{DbScheme, RelSet};
 
@@ -98,6 +99,7 @@ pub fn try_best_strategy_parallel<O: SyncCardinalityOracle>(
         let mut handle = SharedHandle::new(oracle);
         let mut best: Option<(Strategy, u64)> = None;
         try_for_each_strategy(subset, guard, &mut |s| {
+            incr(Counter::ExhaustiveStrategies, 1);
             if !accept(s) {
                 return Ok(());
             }
@@ -130,6 +132,7 @@ pub fn try_best_strategy_parallel<O: SyncCardinalityOracle>(
                                                 "proper splits must be disjoint: {e}"
                                             ))
                                         })?;
+                                    incr(Counter::ExhaustiveStrategies, 1);
                                     if !accept(&joined) {
                                         return Ok(());
                                     }

@@ -1,0 +1,229 @@
+//! Differential tests over a seeded corpus: every optimizer that claims
+//! the product-free optimum must agree on τ, the heuristics must never
+//! beat it, and the DP's work counters must match closed-form counts.
+//!
+//! The corpus is generated (chains, stars, cliques ≤ 10 relations, seeded
+//! uniform data), so these are *engine-vs-engine* checks — no hand-priced
+//! expectations to go stale. The observability layer turns the same suite
+//! into a work-count lockdown: `dp.subsets_expanded` on an n-chain must be
+//! exactly n(n+1)/2 (the number of connected subgraphs of a path), and
+//! `exhaustive.strategies_enumerated` must be (2k−3)!!, at any thread
+//! count.
+
+use mjoin::{Guard, SharedOracle};
+use mjoin_gen::data::{self, DataConfig};
+use mjoin_gen::schemes;
+use mjoin_obs::{Counter, Recorder};
+use mjoin_optimizer::{
+    try_best_bushy, try_best_no_cartesian, try_best_no_cartesian_parallel, try_greedy_bushy,
+    try_greedy_linear, DpAlgorithm,
+};
+use mjoin_strategy::try_best_strategy_parallel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mjoin_cost::Database;
+
+/// Seeded corpus: product-free-searchable (connected) schemes with small
+/// uniform states. Sizes are kept where exhaustive enumeration ((2k−3)!!
+/// strategies) stays in the thousands.
+fn corpus() -> Vec<(String, Database)> {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let cfg = DataConfig {
+        tuples_per_relation: 6,
+        domain: 4,
+        ensure_nonempty: true,
+    };
+    let mut out = Vec::new();
+    for n in 3..=6 {
+        let (c, s) = schemes::chain(n);
+        out.push((format!("chain{n}"), data::uniform(c, s, &cfg, &mut rng)));
+    }
+    for n in 3..=6 {
+        let (c, s) = schemes::star(n);
+        out.push((format!("star{n}"), data::uniform(c, s, &cfg, &mut rng)));
+    }
+    for n in 3..=5 {
+        let (c, s) = schemes::clique(n);
+        out.push((format!("clique{n}"), data::uniform(c, s, &cfg, &mut rng)));
+    }
+    out
+}
+
+/// Every engine that claims the product-free optimum agrees on τ:
+/// exhaustive enumeration (sequential and parallel), DPsize, DPccp,
+/// DPsub, and both parallel DP drivers.
+#[test]
+fn all_product_free_optimizers_agree_on_tau() {
+    for (name, db) in corpus() {
+        let full = db.scheme().full_set();
+        let guard = Guard::unlimited();
+        let scheme = db.scheme();
+
+        let shared = SharedOracle::new(&db);
+        let accept = |s: &mjoin::Strategy| !s.uses_cartesian(scheme);
+        let ex_seq = try_best_strategy_parallel(&shared, full, &guard, 1, &accept)
+            .unwrap()
+            .expect("connected scheme has a product-free strategy");
+        let ex_par = try_best_strategy_parallel(&shared, full, &guard, 4, &accept)
+            .unwrap()
+            .expect("parallel enumeration agrees the space is nonempty");
+
+        let mut taus = vec![("exhaustive-seq", ex_seq.1), ("exhaustive-par", ex_par.1)];
+        for algo in [DpAlgorithm::DpSize, DpAlgorithm::DpCcp, DpAlgorithm::DpSub] {
+            let mut oracle = mjoin::ExactOracle::new(&db);
+            let plan = try_best_no_cartesian(&mut oracle, full, algo, &guard)
+                .unwrap()
+                .expect("connected scheme has a product-free DP plan");
+            taus.push(("dp", plan.cost));
+        }
+        for algo in [DpAlgorithm::DpSize, DpAlgorithm::DpCcp] {
+            let plan = try_best_no_cartesian_parallel(&shared, full, algo, &guard, 4)
+                .unwrap()
+                .expect("parallel DP agrees the space is nonempty");
+            taus.push(("dp-par", plan.cost));
+        }
+        let reference = taus[0].1;
+        for (engine, tau) in &taus {
+            assert_eq!(
+                *tau, reference,
+                "{name}: {engine} disagrees with exhaustive (τ {tau} vs {reference})"
+            );
+        }
+    }
+}
+
+/// The greedy heuristics are admissible upper bounds: never cheaper than
+/// the bushy optimum over the full space.
+#[test]
+fn greedy_never_beats_the_optimum() {
+    for (name, db) in corpus() {
+        let full = db.scheme().full_set();
+        let guard = Guard::unlimited();
+        let mut oracle = mjoin::ExactOracle::new(&db);
+        let best = try_best_bushy(&mut oracle, full, &guard).unwrap();
+        let bushy = try_greedy_bushy(&mut oracle, full, &guard).unwrap();
+        let linear = try_greedy_linear(&mut oracle, full, &guard).unwrap();
+        assert!(
+            bushy.cost >= best.cost,
+            "{name}: greedy bushy {} beats the optimum {}",
+            bushy.cost,
+            best.cost
+        );
+        assert!(
+            linear.cost >= best.cost,
+            "{name}: greedy linear {} beats the optimum {}",
+            linear.cost,
+            best.cost
+        );
+    }
+}
+
+/// On an n-chain the connected subgraphs are exactly the contiguous runs:
+/// n(n+1)/2 of them. Both bottom-up DPs expand (insert into their table)
+/// each connected subset exactly once, so `dp.subsets_expanded` must hit
+/// that closed form — sequentially and at any worker count.
+#[test]
+fn chain_dp_expands_the_closed_form_subset_count() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let cfg = DataConfig::default();
+    for n in 2..=8usize {
+        let (c, s) = schemes::chain(n);
+        let db = data::uniform(c, s, &cfg, &mut rng);
+        let full = db.scheme().full_set();
+        let guard = Guard::unlimited();
+        let expected = (n * (n + 1) / 2) as u64;
+
+        for algo in [DpAlgorithm::DpSize, DpAlgorithm::DpCcp] {
+            let rec = Recorder::arm();
+            let mut oracle = mjoin::ExactOracle::new(&db);
+            try_best_no_cartesian(&mut oracle, full, algo, &guard)
+                .unwrap()
+                .expect("chains are connected");
+            let snap = rec.snapshot();
+            assert_eq!(
+                snap.counter(Counter::DpSubsetsExpanded),
+                expected,
+                "chain{n} {algo:?}: expanded subsets must be n(n+1)/2"
+            );
+        }
+        for threads in [2usize, 4] {
+            let rec = Recorder::arm();
+            let shared = SharedOracle::new(&db);
+            try_best_no_cartesian_parallel(&shared, full, DpAlgorithm::DpCcp, &guard, threads)
+                .unwrap()
+                .expect("chains are connected");
+            let snap = rec.snapshot();
+            assert_eq!(
+                snap.counter(Counter::DpSubsetsExpanded),
+                expected,
+                "chain{n} parallel DPccp @ {threads} threads: subset expansions \
+                 must be thread-invariant"
+            );
+        }
+    }
+}
+
+/// Exhaustive enumeration visits exactly (2k−3)!! strategies, and the
+/// counter sees each exactly once at any thread count.
+#[test]
+fn exhaustive_enumeration_count_is_the_double_factorial() {
+    let double_factorial = |k: usize| -> u64 {
+        // (2k−3)!! for k ≥ 2; 1 for k = 1.
+        let mut out = 1u64;
+        let mut i = 2 * k as u64 - 3;
+        while i >= 2 {
+            out *= i;
+            i -= 2;
+        }
+        out
+    };
+    let mut rng = StdRng::seed_from_u64(11);
+    let cfg = DataConfig::default();
+    for n in 2..=6usize {
+        let (c, s) = schemes::chain(n);
+        let db = data::uniform(c, s, &cfg, &mut rng);
+        let full = db.scheme().full_set();
+        let guard = Guard::unlimited();
+        for threads in [1usize, 4] {
+            let rec = Recorder::arm();
+            let shared = SharedOracle::new(&db);
+            try_best_strategy_parallel(&shared, full, &guard, threads, &|_| true)
+                .unwrap()
+                .expect("the unrestricted space is never empty");
+            let snap = rec.snapshot();
+            assert_eq!(
+                snap.counter(Counter::ExhaustiveStrategies),
+                double_factorial(n),
+                "chain{n} @ {threads} threads: enumeration count"
+            );
+        }
+    }
+}
+
+/// Repeated single-threaded runs produce bit-identical counter snapshots —
+/// the whole vector, not just the headline numbers. (Spans carry wall-clock
+/// time and are excluded by the determinism contract.)
+#[test]
+fn single_threaded_counter_snapshots_are_reproducible() {
+    let take = |db: &Database| {
+        let rec = Recorder::arm();
+        let full = db.scheme().full_set();
+        let guard = Guard::unlimited();
+        let mut oracle = mjoin::ExactOracle::new(db);
+        try_best_no_cartesian(&mut oracle, full, DpAlgorithm::DpCcp, &guard)
+            .unwrap()
+            .expect("corpus schemes are connected");
+        try_greedy_bushy(&mut oracle, full, &guard).unwrap();
+        let snap = rec.snapshot();
+        snap.counters_by_name()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<Vec<_>>()
+    };
+    for (name, db) in corpus() {
+        let first = take(&db);
+        let second = take(&db);
+        assert_eq!(first, second, "{name}: counter snapshot must be reproducible");
+    }
+}

@@ -97,6 +97,14 @@ fn provoke(site: &str) -> MjoinError {
             )
             .unwrap_err()
         }
+        "obs::report" => {
+            // Every emitted report (CLI --metrics-json, bench BENCH_*.json)
+            // funnels through this single guarded renderer.
+            let rec = mjoin_obs::Recorder::arm();
+            let report = mjoin_obs::RunReport::new("test", 1, rec.snapshot());
+            drop(rec);
+            mjoin::render_run_report(&report).unwrap_err()
+        }
         other => panic!("unmapped failpoint site {other}: extend this test"),
     }
 }

@@ -91,6 +91,68 @@ fn hostile_clique_under_tuple_cap_degrades() {
     );
 }
 
+/// Every rung the ladder actually ran — failed attempts and the answering
+/// rung alike — records what it consumed: elapsed wall clock plus the memo
+/// entries and intermediate tuples charged to the guard. Skipped rungs
+/// record zeros, and none of this leaks into the `Display` line the CLI
+/// prints.
+#[test]
+fn rung_attempts_record_elapsed_and_budget_consumed() {
+    let db = clique_db(14, 4);
+    let budget = Budget::unlimited().with_max_tuples(10_000);
+    let r = optimize_database_robust(&db, SearchSpace::All, budget, None).unwrap();
+    // At n = 14 the exhaustive rung is skipped (space too large) without
+    // doing any work; the DP rung runs and trips the tuple cap.
+    let skipped = r
+        .report
+        .attempts
+        .iter()
+        .find(|a| a.rung == Rung::Exhaustive)
+        .expect("exhaustive rung is attempted first");
+    assert!(skipped.outcome.contains("skipped"), "{}", skipped.outcome);
+    assert_eq!(skipped.stats, mjoin::RungStats::default());
+    let tripped = r
+        .report
+        .attempts
+        .iter()
+        .find(|a| a.outcome.contains("budget exceeded"))
+        .expect("some rung trips the tuple cap");
+    assert!(
+        tripped.stats.tuples_used > 0,
+        "a tripping rung must have consumed tuples: {:?}",
+        tripped.stats
+    );
+    // The answering rung's own consumption is recorded on the report.
+    assert!(
+        r.report.answered_stats.memo_used > 0 || r.report.answered_stats.tuples_used > 0,
+        "{:?}",
+        r.report.answered_stats
+    );
+    // Display stays the pre-stats format: rungs and outcomes only.
+    let line = r.report.to_string();
+    assert!(line.starts_with("answered by "), "{line}");
+    assert!(!line.contains("memo"), "stats must not leak into Display: {line}");
+    assert!(!line.contains("elapsed"), "stats must not leak into Display: {line}");
+}
+
+/// Stats are budget *consumption*, so the deterministic caps make them
+/// reproducible run to run (elapsed excepted — wall clock is explicitly
+/// outside the determinism contract).
+#[test]
+fn rung_budget_consumption_is_deterministic() {
+    let db = clique_db(10, 2);
+    let budget = Budget::unlimited().with_max_memo_entries(16);
+    let a = optimize_database_robust(&db, SearchSpace::All, budget, None).unwrap();
+    let b = optimize_database_robust(&db, SearchSpace::All, budget, None).unwrap();
+    assert_eq!(a.report.answered_stats.memo_used, b.report.answered_stats.memo_used);
+    assert_eq!(a.report.answered_stats.tuples_used, b.report.answered_stats.tuples_used);
+    for (x, y) in a.report.attempts.iter().zip(&b.report.attempts) {
+        assert_eq!(x.rung, y.rung);
+        assert_eq!(x.stats.memo_used, y.stats.memo_used);
+        assert_eq!(x.stats.tuples_used, y.stats.tuples_used);
+    }
+}
+
 /// Cancellation from another thread interrupts a search that would
 /// otherwise run for a very long time (the 12-relation clique DP), and
 /// surfaces as `Cancelled` — not as a degraded answer and not as a hang.
