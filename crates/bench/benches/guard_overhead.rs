@@ -85,7 +85,7 @@ fn bench_dp(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
-    let (_cat, scheme) = schemes::chain(10);
+    let (_cat, scheme) = schemes::chain(12);
     let full = scheme.full_set();
     let base = vec![100u64; scheme.len()];
     let unlimited = Guard::unlimited();
@@ -127,7 +127,7 @@ fn overhead_pct(base: Duration, test: Duration) -> f64 {
 /// `BENCH_guard_overhead.json` report.
 fn verify() -> (Vec<Json>, mjoin_obs::Snapshot) {
     let (r, s) = make_pair(1000, 8);
-    let (_cat, scheme) = schemes::chain(10);
+    let (_cat, scheme) = schemes::chain(12);
     let full = scheme.full_set();
     let base = vec![100u64; scheme.len()];
     let unlimited = Guard::unlimited();
@@ -208,7 +208,7 @@ fn verify() -> (Vec<Json>, mjoin_obs::Snapshot) {
                 );
                 pcts[2] = overhead_pct(raw, guarded);
                 println!(
-                    "verify bushy DP n=10        (attempt {attempt}): armed-guard overhead {:+.2}%",
+                    "verify bushy DP n=12        (attempt {attempt}): armed-guard overhead {:+.2}%",
                     pcts[2]
                 );
             }
@@ -226,7 +226,7 @@ fn verify() -> (Vec<Json>, mjoin_obs::Snapshot) {
                 drop(rec);
                 pcts[3] = overhead_pct(raw, recorded);
                 println!(
-                    "verify bushy DP n=10        (attempt {attempt}): armed-guard + recorder {:+.2}%",
+                    "verify bushy DP n=12        (attempt {attempt}): armed-guard + recorder {:+.2}%",
                     pcts[3]
                 );
             }

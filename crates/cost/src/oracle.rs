@@ -1,12 +1,11 @@
 //! Cardinality oracles: the map `D′ ↦ τ(R_{D′})`.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use mjoin_guard::{failpoints, Guard, MjoinError};
-use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_hypergraph::{DbScheme, FastMap, RelSet};
 use mjoin_obs as obs;
-use mjoin_relation::{JoinAlgorithm, Relation};
+use mjoin_relation::{JoinAlgorithm, Relation, MAX_ATTRS};
 
 use crate::database::Database;
 
@@ -81,7 +80,7 @@ pub(crate) fn peel_member(scheme: &DbScheme, subset: RelSet) -> Option<usize> {
 pub struct ExactOracle<'a> {
     db: &'a Database,
     memo_enabled: bool,
-    memo: HashMap<RelSet, Arc<Relation>>,
+    memo: FastMap<RelSet, Arc<Relation>>,
     guard: Guard,
     /// First budget/cancel/fault error observed; once set, fallible paths
     /// keep returning it and infallible paths saturate (`τ = u64::MAX`)
@@ -101,7 +100,7 @@ impl<'a> ExactOracle<'a> {
         ExactOracle {
             db,
             memo_enabled: true,
-            memo: HashMap::new(),
+            memo: FastMap::default(),
             guard,
             tripped: None,
         }
@@ -113,7 +112,7 @@ impl<'a> ExactOracle<'a> {
         ExactOracle {
             db,
             memo_enabled: false,
-            memo: HashMap::new(),
+            memo: FastMap::default(),
             guard: Guard::unlimited(),
             tripped: None,
         }
@@ -258,11 +257,16 @@ impl CardinalityOracle for ExactOracle<'_> {
 #[derive(Clone, Debug)]
 pub struct SyntheticOracle {
     scheme: DbScheme,
-    base: Vec<u64>,
-    /// Domain size per attribute index; attributes absent from the map get
-    /// `default_domain`.
-    domains: HashMap<usize, u64>,
-    default_domain: u64,
+    /// `ln nᵢ` per relation. The model works entirely in log space, so
+    /// only the logarithms are stored — precomputed, because the DP asks
+    /// for τ once per connected subset (tens of thousands of calls per
+    /// optimization on dense schemes) and the hot loop must be pure
+    /// additions.
+    ln_base: Vec<f64>,
+    /// `ln d_A` per overridden attribute; attributes absent from the map
+    /// get `ln_default_domain`.
+    ln_domains: FastMap<usize, f64>,
+    ln_default_domain: f64,
     /// Relations whose *state* is genuinely empty. Any subset touching one
     /// joins to `φ`, so the estimate short-circuits to 0 there instead of
     /// reporting the model's ≥ 1 floor.
@@ -305,9 +309,9 @@ impl SyntheticOracle {
         }
         Ok(SyntheticOracle {
             scheme,
-            base,
-            domains: HashMap::new(),
-            default_domain,
+            ln_base: base.iter().map(|&b| (b as f64).ln()).collect(),
+            ln_domains: FastMap::default(),
+            ln_default_domain: (default_domain as f64).ln(),
             empty: RelSet::empty(),
         })
     }
@@ -328,7 +332,7 @@ impl SyntheticOracle {
         if size == 0 {
             return Err(MjoinError::InvalidScheme("domains must be ≥ 1".into()));
         }
-        self.domains.insert(attr_index, size);
+        self.ln_domains.insert(attr_index, (size as f64).ln());
         Ok(())
     }
 
@@ -378,8 +382,11 @@ impl SyntheticOracle {
         oracle
     }
 
-    fn domain(&self, attr_index: usize) -> u64 {
-        *self.domains.get(&attr_index).unwrap_or(&self.default_domain)
+    fn ln_domain(&self, attr_index: usize) -> f64 {
+        *self
+            .ln_domains
+            .get(&attr_index)
+            .unwrap_or(&self.ln_default_domain)
     }
 
     /// The closed-form estimate, computable through a shared reference —
@@ -398,22 +405,24 @@ impl SyntheticOracle {
         // order is fixed (ascending relation index, then ascending
         // attribute index) so estimates are bit-for-bit reproducible —
         // a HashMap iteration here once made τ differ by ±1 between calls
-        // for the same subset.
+        // for the same subset. All logarithms are precomputed, and the
+        // per-attribute occurrence counts live in a stack array indexed by
+        // attribute (bounded by `MAX_ATTRS`) — this runs once per
+        // connected subset of every DP, so no allocation is allowed here.
         let mut log_size = 0.0f64;
         for i in subset.iter() {
-            log_size += (self.base[i] as f64).ln();
+            log_size += self.ln_base[i];
         }
-        // Count, per attribute (in ascending order), how many members
-        // contain it.
-        let mut counts: std::collections::BTreeMap<usize, u32> = std::collections::BTreeMap::new();
+        let mut counts = [0u16; MAX_ATTRS];
         for i in subset.iter() {
             for a in self.scheme.scheme(i).iter() {
-                *counts.entry(a.index()).or_insert(0) += 1;
+                counts[a.index()] += 1;
             }
         }
-        for (a, c) in counts {
+        for a in self.scheme.attrs_of(subset).iter() {
+            let c = counts[a.index()];
             if c > 1 {
-                log_size -= (c - 1) as f64 * (self.domain(a) as f64).ln();
+                log_size -= (c - 1) as f64 * self.ln_domain(a.index());
             }
         }
         if log_size <= 0.0 {

@@ -21,11 +21,10 @@
 //! charged exactly once per distinct subset (under the write lock), so
 //! memo-entry budgets trip identically at any thread count.
 
-use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
 use mjoin_guard::{failpoints, Guard, MjoinError};
-use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_hypergraph::{DbScheme, FastMap, RelSet};
 use mjoin_obs as obs;
 use mjoin_relation::{JoinAlgorithm, Relation};
 
@@ -83,7 +82,7 @@ fn shard_of(subset: RelSet) -> usize {
 /// `Sync`.
 pub struct SharedOracle<'a> {
     db: &'a Database,
-    shards: Vec<RwLock<HashMap<RelSet, Arc<Relation>>>>,
+    shards: Vec<RwLock<FastMap<RelSet, Arc<Relation>>>>,
     guard: Guard,
     join_threads: usize,
 }
@@ -99,7 +98,7 @@ impl<'a> SharedOracle<'a> {
     pub fn with_guard(db: &'a Database, guard: Guard) -> Self {
         SharedOracle {
             db,
-            shards: (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(FastMap::default())).collect(),
             guard,
             join_threads: 1,
         }
@@ -207,8 +206,8 @@ impl<'a> SharedOracle<'a> {
 /// A poisoned shard only means another worker panicked *between* map
 /// operations; entries are only ever inserted whole, so the map is intact.
 fn read_shard<'m>(
-    shard: &'m RwLock<HashMap<RelSet, Arc<Relation>>>,
-) -> std::sync::RwLockReadGuard<'m, HashMap<RelSet, Arc<Relation>>> {
+    shard: &'m RwLock<FastMap<RelSet, Arc<Relation>>>,
+) -> std::sync::RwLockReadGuard<'m, FastMap<RelSet, Arc<Relation>>> {
     shard.read().unwrap_or_else(|e| e.into_inner())
 }
 

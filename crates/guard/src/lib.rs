@@ -364,7 +364,9 @@ impl Guard {
     }
 
     /// Charges `n` memo entries against the cap (and polls the deadline:
-    /// memo growth is a natural progress marker).
+    /// memo growth is a natural progress marker). The memo count doubles
+    /// as the deadline stride — one atomic add covers both, keeping this
+    /// call a single RMW on DP hot paths.
     pub fn charge_memo(&self, n: u64) -> Result<(), MjoinError> {
         if !self.limited {
             return Ok(());
@@ -378,7 +380,18 @@ impl Guard {
                 }));
             }
         }
-        self.checkpoint()
+        if self.inner.tripped.load(Ordering::Relaxed) {
+            return Err(self.tripped_error());
+        }
+        if let Some(tok) = &self.inner.cancel {
+            if tok.is_cancelled() {
+                return Err(self.trip(MjoinError::Cancelled));
+            }
+        }
+        if self.inner.deadline.is_some() && used.is_multiple_of(CHECK_STRIDE) {
+            return self.check_deadline_now();
+        }
+        Ok(())
     }
 
     /// Charges `n` materialized intermediate tuples against the cap (and

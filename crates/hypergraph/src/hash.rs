@@ -1,0 +1,106 @@
+//! A zero-dependency splitmix64 hasher for bitset keys.
+//!
+//! The DP memo tables and oracle memos are keyed by [`RelSet`] — a single
+//! `u64` — yet `std`'s default `HashMap` pays full SipHash per probe. The
+//! splitmix64 finalizer is a bijective 64-bit mix with full avalanche,
+//! which is exactly the right amount of hashing for a one-word key: one
+//! multiply-xor-shift chain instead of a keyed cryptographic permutation.
+//! Unlike `RandomState`, the hash is also *deterministic across runs*,
+//! which keeps memo behaviour (resize points, probe order) reproducible.
+//!
+//! [`RelSet`]: crate::RelSet
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The splitmix64 finalizer (Steele, Lea & Flood's `SplittableRandom`
+/// mixer): bijective on `u64`, full avalanche, three multiply/xor rounds.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`Hasher`] that runs every written word through [`splitmix64`].
+///
+/// Designed for one-word keys (`RelSet`, small indices); multi-word input
+/// chains the mix, so it stays a valid (if not optimal) general hasher.
+#[derive(Default, Clone)]
+pub struct SplitMix64Hasher(u64);
+
+impl Hasher for SplitMix64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer keys: fold 8-byte chunks through the mix.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.0 = splitmix64(self.0 ^ u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = splitmix64(self.0 ^ x);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+}
+
+/// `HashMap` over the deterministic splitmix64 hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<SplitMix64Hasher>>;
+
+/// `HashSet` over the deterministic splitmix64 hasher.
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<SplitMix64Hasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RelSet;
+
+    #[test]
+    fn splitmix64_is_a_bijection_sample() {
+        // Distinct inputs, distinct outputs (spot check a small range).
+        let mut seen: Vec<u64> = (0..4096).map(splitmix64).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4096);
+    }
+
+    #[test]
+    fn fast_map_round_trips_relsets() {
+        let mut m: FastMap<RelSet, u64> = FastMap::default();
+        for i in 0..64 {
+            m.insert(RelSet::singleton(i), i as u64);
+        }
+        for i in 0..64 {
+            assert_eq!(m.get(&RelSet::singleton(i)), Some(&(i as u64)));
+        }
+        assert_eq!(m.len(), 64);
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<SplitMix64Hasher> = Default::default();
+        let h1 = b.hash_one(RelSet(0xDEAD_BEEF));
+        let h2 = b.hash_one(RelSet(0xDEAD_BEEF));
+        assert_eq!(h1, h2);
+        assert_ne!(b.hash_one(RelSet(1)), b.hash_one(RelSet(2)));
+    }
+}

@@ -1,0 +1,214 @@
+//! A precomputed index over the connected subsets of a scheme.
+//!
+//! The bottom-up DPs spend their lives asking three questions about one
+//! fixed `(scheme, within)` pair: *which subsets are connected*, *in what
+//! order should they be solved*, and *where does this subset's memo entry
+//! live*. [`SchemeIndex`] answers all three once, up front:
+//!
+//! * the connected subsets of `within`, enumerated output-sensitively and
+//!   held in ascending bit-pattern order;
+//! * a **rank** per connected subset — a dense index into flat `Vec` memo
+//!   tables, replacing per-probe hashing on the DP hot path;
+//! * the subsets grouped by size (**levels**), each level holding ranks in
+//!   ascending bit-pattern order — exactly the deterministic processing
+//!   order the sequential DP uses and the parallel DP freezes per level.
+//!
+//! The index owns its data (no borrow of the scheme), so a sequential DP
+//! can build it from `oracle.scheme()` and then use the oracle mutably.
+
+use crate::hash::FastMap;
+use crate::relset::RelSet;
+use crate::scheme::DbScheme;
+
+/// When `within` is a low-contiguous mask of at most this many relations,
+/// the rank lookup uses a direct-indexed table (`2^n` entries of `u32`, so
+/// 4 MiB at the cap) instead of a hash map. The csg–cmp enumeration does
+/// three rank probes per emitted pair, so this is the difference between
+/// three array loads and three hash probes on the DP's hottest path.
+const DENSE_MAX_RELS: usize = 20;
+
+/// Dense ranks and size levels over the connected subsets of `within`.
+pub struct SchemeIndex {
+    within: RelSet,
+    /// Connected subsets in ascending bit-pattern order; position = rank.
+    subsets: Vec<RelSet>,
+    /// Hash fallback for `rank`, only built when `dense` is not.
+    ranks: FastMap<RelSet, u32>,
+    /// Direct-indexed ranks (`dense[s.bits] = rank + 1`, `0` = not a
+    /// connected subset) when `within = {0, …, n−1}` with
+    /// `n ≤ DENSE_MAX_RELS` — the common whole-query case.
+    dense: Option<Vec<u32>>,
+    /// `by_size[k]` = ranks of the size-`k` connected subsets, ascending
+    /// by bit pattern (ranks are bit-ordered, so pushes in rank order keep
+    /// each level sorted).
+    by_size: Vec<Vec<u32>>,
+}
+
+impl SchemeIndex {
+    /// Builds the index for the connected subsets of `within`.
+    pub fn new(scheme: &DbScheme, within: RelSet) -> SchemeIndex {
+        let subsets = scheme.connected_subsets(within);
+        assert!(
+            u32::try_from(subsets.len()).is_ok(),
+            "connected-subset count exceeds the u32 rank space"
+        );
+        let n = within.len();
+        let use_dense = n > 0 && n <= DENSE_MAX_RELS && within == RelSet::full(n);
+        let mut ranks = FastMap::default();
+        let mut dense = use_dense.then(|| vec![0u32; 1usize << n]);
+        let mut by_size: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        for (rank, &s) in subsets.iter().enumerate() {
+            match &mut dense {
+                Some(table) => table[s.0 as usize] = rank as u32 + 1,
+                None => {
+                    ranks.insert(s, rank as u32);
+                }
+            }
+            by_size[s.len()].push(rank as u32);
+        }
+        SchemeIndex {
+            within,
+            subsets,
+            ranks,
+            dense,
+            by_size,
+        }
+    }
+
+    /// The subset this index covers.
+    #[inline]
+    pub fn within(&self) -> RelSet {
+        self.within
+    }
+
+    /// Number of connected subsets (= size of a flat memo table).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// Is the index empty (only for `within = φ`)?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.subsets.is_empty()
+    }
+
+    /// The connected subsets in rank (ascending bit-pattern) order.
+    #[inline]
+    pub fn subsets(&self) -> &[RelSet] {
+        &self.subsets
+    }
+
+    /// The dense rank of `subset`, `None` if it is not a connected subset
+    /// of `within`.
+    #[inline]
+    pub fn rank(&self, subset: RelSet) -> Option<u32> {
+        if let Some(table) = &self.dense {
+            // Bits outside `within` index past the table and fall off the
+            // `get`, which is the correct `None`.
+            return match table.get(subset.0 as usize) {
+                Some(&r) if r != 0 => Some(r - 1),
+                _ => None,
+            };
+        }
+        self.ranks.get(&subset).copied()
+    }
+
+    /// The subset at `rank` (inverse of [`rank`](Self::rank)).
+    #[inline]
+    pub fn subset(&self, rank: u32) -> RelSet {
+        self.subsets[rank as usize]
+    }
+
+    /// Largest subset size (`|within|`).
+    #[inline]
+    pub fn max_size(&self) -> usize {
+        self.within.len()
+    }
+
+    /// Ranks of the size-`size` connected subsets, ascending by bit
+    /// pattern — one DP level.
+    #[inline]
+    pub fn level(&self, size: usize) -> &[u32] {
+        self.by_size
+            .get(size)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mjoin_relation::Catalog;
+
+    fn scheme(specs: &[&str]) -> DbScheme {
+        let mut cat = Catalog::new();
+        DbScheme::parse(&mut cat, specs).unwrap()
+    }
+
+    #[test]
+    fn ranks_are_dense_bit_ordered_and_invertible() {
+        let d = scheme(&["AB", "BC", "CD", "DE"]);
+        let idx = SchemeIndex::new(&d, d.full_set());
+        // 4-chain: 4·5/2 = 10 connected subsets.
+        assert_eq!(idx.len(), 10);
+        for (rank, &s) in idx.subsets().iter().enumerate() {
+            assert_eq!(idx.rank(s), Some(rank as u32));
+            assert_eq!(idx.subset(rank as u32), s);
+        }
+        // Ascending bit order.
+        for pair in idx.subsets().windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        // Disconnected subsets have no rank.
+        assert_eq!(idx.rank(RelSet::from_indices([0, 2])), None);
+    }
+
+    #[test]
+    fn levels_partition_the_ranks_by_size() {
+        let d = scheme(&["ABC", "AX", "BY", "CZ"]);
+        let idx = SchemeIndex::new(&d, d.full_set());
+        assert_eq!(idx.max_size(), 4);
+        let mut total = 0;
+        for size in 1..=idx.max_size() {
+            for &r in idx.level(size) {
+                assert_eq!(idx.subset(r).len(), size);
+                total += 1;
+            }
+            // Levels are ascending by bit pattern.
+            for pair in idx.level(size).windows(2) {
+                assert!(idx.subset(pair[0]) < idx.subset(pair[1]));
+            }
+        }
+        assert_eq!(total, idx.len());
+        assert_eq!(idx.level(0), &[] as &[u32]);
+        assert_eq!(idx.level(99), &[] as &[u32]);
+    }
+
+    #[test]
+    fn dense_and_hash_rank_paths_agree() {
+        let d = scheme(&["AB", "BC", "CD"]);
+        // full_set is a low-contiguous mask → direct-indexed ranks;
+        // {1, 2} is not → hash fallback. Both must answer identically.
+        for within in [d.full_set(), RelSet::from_indices([1, 2])] {
+            let idx = SchemeIndex::new(&d, within);
+            for (rank, &s) in idx.subsets().iter().enumerate() {
+                assert_eq!(idx.rank(s), Some(rank as u32));
+            }
+            assert_eq!(idx.rank(RelSet::from_indices([0, 2])), None);
+            // Out-of-range bits must not index past the dense table.
+            assert_eq!(idx.rank(RelSet::singleton(63)), None);
+        }
+    }
+
+    #[test]
+    fn restricted_index_only_sees_members_of_within() {
+        let d = scheme(&["AB", "BC", "CD"]);
+        let within = RelSet::from_indices([0, 1]);
+        let idx = SchemeIndex::new(&d, within);
+        assert_eq!(idx.within(), within);
+        assert_eq!(idx.len(), 3); // {0}, {1}, {0,1}
+        assert_eq!(idx.rank(RelSet::singleton(2)), None);
+    }
+}

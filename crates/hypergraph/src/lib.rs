@@ -12,7 +12,14 @@
 //! * the paper's predicates: [`DbScheme::linked`], [`DbScheme::connected`],
 //!   [`DbScheme::components`];
 //! * subset enumeration used by the condition checkers in `mjoin`
-//!   ([`DbScheme::connected_subsets`]);
+//!   ([`DbScheme::connected_subsets`]), the streaming csg–cmp-pair
+//!   enumerator behind DPccp ([`DbScheme::ccp_pairs`]), and the
+//!   adjacency fast path for linkage tests
+//!   ([`DbScheme::linked_disjoint`]);
+//! * [`SchemeIndex`] — dense ranks and size levels over the connected
+//!   subsets, backing flat `Vec` memo tables in the optimizer;
+//! * [`FastMap`]/[`FastSet`] — deterministic splitmix64-hashed maps for
+//!   single-word bitset keys;
 //! * acyclicity machinery for Section 5: GYO reduction
 //!   ([`DbScheme::is_alpha_acyclic`]), Berge-, β- and γ-acyclicity, and
 //!   [`JoinTree`] construction for α-acyclic schemes.
@@ -33,11 +40,15 @@
 #![warn(missing_docs)]
 
 mod acyclic;
+mod hash;
+mod index;
 mod jointree;
 mod relset;
 mod scheme;
 
 pub use acyclic::Acyclicity;
+pub use hash::{splitmix64, FastMap, FastSet, SplitMix64Hasher};
+pub use index::SchemeIndex;
 pub use jointree::JoinTree;
 pub use relset::{RelSet, RelSetIter, SubsetIter, MAX_RELATIONS};
 pub use scheme::DbScheme;

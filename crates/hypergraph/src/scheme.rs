@@ -99,6 +99,48 @@ impl DbScheme {
         self.attrs_of(d1).intersects(self.attrs_of(d2))
     }
 
+    /// The neighbors of relation `i`: every `j ≠ i` whose scheme shares an
+    /// attribute with scheme `i`.
+    #[inline]
+    pub fn adjacent_to(&self, i: usize) -> RelSet {
+        self.adjacency[i]
+    }
+
+    /// `𝒩(D′)`: the members *outside* `subset` adjacent to some member of
+    /// it — the hypergraph neighborhood driving both the connected-subset
+    /// and the csg–cmp enumerations. `O(|D′|)` word operations.
+    #[inline]
+    pub fn neighborhood(&self, subset: RelSet) -> RelSet {
+        let mut n = RelSet::empty();
+        for i in subset.iter() {
+            n = n.union(self.adjacency[i]);
+        }
+        n.difference(subset)
+    }
+
+    /// [`linked`](Self::linked) specialized to *disjoint* subsets, as word
+    /// operations on the precomputed adjacency instead of two attribute
+    /// folds.
+    ///
+    /// Correct because for disjoint `D₁`, `D₂` an attribute
+    /// `a ∈ (⋃D₁) ∩ (⋃D₂)` lies in some `schemes[i]`, `i ∈ D₁`, and some
+    /// `schemes[j]`, `j ∈ D₂`; disjointness gives `i ≠ j`, so `(i, j)` is an
+    /// adjacency edge — and conversely every adjacency edge witnesses a
+    /// shared attribute. Cost is `O(min(|D₁|, |D₂|))` word ops; the DP hot
+    /// loops call this millions of times where the attribute folds used to
+    /// dominate.
+    #[inline]
+    pub fn linked_disjoint(&self, d1: RelSet, d2: RelSet) -> bool {
+        debug_assert!(d1.is_disjoint(d2));
+        let (walk, probe) = if d1.len() <= d2.len() { (d1, d2) } else { (d2, d1) };
+        for i in walk.iter() {
+            if !self.adjacency[i].intersect(probe).is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Is `subset` connected (not the union of two non-linked nonempty
     /// parts)? The empty subset and singletons are connected.
     pub fn connected(&self, subset: RelSet) -> bool {
@@ -179,11 +221,10 @@ impl DbScheme {
         out: &mut Vec<RelSet>,
     ) {
         // Neighborhood of `subset` inside `within`, minus exclusions.
-        let mut neighborhood = RelSet::empty();
-        for i in subset.iter() {
-            neighborhood = neighborhood.union(self.adjacency[i]);
-        }
-        neighborhood = neighborhood.intersect(within).difference(excluded);
+        let neighborhood = self
+            .neighborhood(subset)
+            .intersect(within)
+            .difference(excluded);
         if neighborhood.is_empty() {
             return;
         }
@@ -204,6 +245,184 @@ impl DbScheme {
                 out,
             );
         }
+    }
+
+    /// Streams every **csg–cmp pair** of the query graph restricted to
+    /// `within`: each unordered pair `(D₁, D₂)` of disjoint, individually
+    /// connected, mutually linked subsets is passed to `f` exactly once,
+    /// oriented so `min(D₁) < min(D₂)` (hence `D₁` contains the lowest
+    /// member of `D₁ ∪ D₂`).
+    ///
+    /// This is the `EnumerateCsg`/`EnumerateCmp` scheme of Moerkotte &
+    /// Neumann's `DPccp`: csgs grow from their lowest member through the
+    /// adjacency bitsets; for each csg, complements grow from each
+    /// neighborhood seed with lower seeds forbidden. Work is proportional
+    /// to the number of *valid joins*, so sparse topologies never touch the
+    /// full subset lattice — an n-chain has exactly `n(n−1)(n+1)/6` pairs.
+    ///
+    /// The callback is fallible so a budget guard can cancel enumeration
+    /// mid-stream; errors propagate immediately.
+    pub fn try_for_each_ccp<E, F>(&self, within: RelSet, f: &mut F) -> Result<(), E>
+    where
+        F: FnMut(RelSet, RelSet) -> Result<(), E>,
+    {
+        let members: Vec<usize> = within.iter().collect();
+        for (k, &start) in members.iter().enumerate().rev() {
+            // As in `connected_subsets`, forbid all members lower than
+            // `start`: every csg is rooted at its own minimum.
+            let below = RelSet::from_indices(members[..k].iter().copied());
+            let seed = RelSet::singleton(start);
+            let adj = self.adjacency[start];
+            self.ccp_emit_cmps(seed, adj, below, within, f)?;
+            self.ccp_csg_rec(seed, adj, below.union(seed), below, within, f)?;
+        }
+        Ok(())
+    }
+
+    /// `⋃_{i ∈ subset} adjacency[i]` — the raw adjacency union the
+    /// recursive enumerators maintain *incrementally*: extending a subset
+    /// by `ext` only folds `ext`'s adjacency rows in, instead of
+    /// recomputing the whole union per recursion step.
+    #[inline]
+    fn adj_union(&self, subset: RelSet) -> RelSet {
+        let mut n = RelSet::empty();
+        for i in subset.iter() {
+            n = n.union(self.adjacency[i]);
+        }
+        n
+    }
+
+    /// `EnumerateCsgRec` specialized for pair emission: grows `subset`
+    /// (whose minimum is fixed by `below`) through its neighborhood and
+    /// enumerates the complements of every csg produced. `adj` is
+    /// `adj_union(subset)`, carried incrementally.
+    fn ccp_csg_rec<E, F>(
+        &self,
+        subset: RelSet,
+        adj: RelSet,
+        excluded: RelSet,
+        below: RelSet,
+        within: RelSet,
+        f: &mut F,
+    ) -> Result<(), E>
+    where
+        F: FnMut(RelSet, RelSet) -> Result<(), E>,
+    {
+        // `excluded ⊇ subset`, so subtracting it also strips the subset's
+        // own members from the raw adjacency union.
+        let neighborhood = adj.intersect(within).difference(excluded);
+        if neighborhood.is_empty() {
+            return Ok(());
+        }
+        for ext in neighborhood.subsets() {
+            if ext.is_empty() {
+                continue;
+            }
+            self.ccp_emit_cmps(subset.union(ext), adj.union(self.adj_union(ext)), below, within, f)?;
+        }
+        for ext in neighborhood.subsets() {
+            if ext.is_empty() {
+                continue;
+            }
+            self.ccp_csg_rec(
+                subset.union(ext),
+                adj.union(self.adj_union(ext)),
+                excluded.union(neighborhood),
+                below,
+                within,
+                f,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// `EmitCsg` + `EnumerateCmpRec`: all connected complements of csg
+    /// `s1`, each grown from one neighborhood seed (descending, with lower
+    /// seeds forbidden so each complement is enumerated exactly once) and
+    /// with everything at or below `min(s1)` excluded. `adj1` is
+    /// `adj_union(s1)`, carried incrementally by the csg recursion.
+    fn ccp_emit_cmps<E, F>(
+        &self,
+        s1: RelSet,
+        adj1: RelSet,
+        below: RelSet,
+        within: RelSet,
+        f: &mut F,
+    ) -> Result<(), E>
+    where
+        F: FnMut(RelSet, RelSet) -> Result<(), E>,
+    {
+        let excluded = below.union(s1);
+        let frontier = adj1.intersect(within).difference(excluded);
+        let seeds: Vec<usize> = frontier.iter().collect();
+        for (k, &v) in seeds.iter().enumerate().rev() {
+            let seed = RelSet::singleton(v);
+            f(s1, seed)?;
+            let lower = RelSet::from_indices(seeds[..k].iter().copied());
+            self.ccp_cmp_rec(
+                s1,
+                seed,
+                self.adjacency[v],
+                excluded.union(lower).union(seed),
+                within,
+                f,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// `adj2` is `adj_union(s2)`, carried incrementally.
+    fn ccp_cmp_rec<E, F>(
+        &self,
+        s1: RelSet,
+        s2: RelSet,
+        adj2: RelSet,
+        excluded: RelSet,
+        within: RelSet,
+        f: &mut F,
+    ) -> Result<(), E>
+    where
+        F: FnMut(RelSet, RelSet) -> Result<(), E>,
+    {
+        // `excluded ⊇ s2`, so subtracting it also strips `s2`'s own
+        // members from the raw adjacency union.
+        let neighborhood = adj2.intersect(within).difference(excluded);
+        if neighborhood.is_empty() {
+            return Ok(());
+        }
+        for ext in neighborhood.subsets() {
+            if ext.is_empty() {
+                continue;
+            }
+            f(s1, s2.union(ext))?;
+        }
+        for ext in neighborhood.subsets() {
+            if ext.is_empty() {
+                continue;
+            }
+            self.ccp_cmp_rec(
+                s1,
+                s2.union(ext),
+                adj2.union(self.adj_union(ext)),
+                excluded.union(neighborhood),
+                within,
+                f,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// All csg–cmp pairs of `within` as a vector (see
+    /// [`try_for_each_ccp`](Self::try_for_each_ccp)); the streaming form is
+    /// what the DP uses, this is for tests and small-scale callers.
+    pub fn ccp_pairs(&self, within: RelSet) -> Vec<(RelSet, RelSet)> {
+        let mut out = Vec::new();
+        self.try_for_each_ccp::<std::convert::Infallible, _>(within, &mut |a, b| {
+            out.push((a, b));
+            Ok(())
+        })
+        .unwrap();
+        out
     }
 
     /// Renders `subset` as `{ABC, BE}` using the catalog's names.

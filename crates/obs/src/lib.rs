@@ -75,6 +75,11 @@ pub enum Counter {
     DpSubsetsExpanded,
     /// Candidate splits the DPs scanned.
     DpCandidatesScanned,
+    /// csg–cmp pairs the streaming DPccp enumerator emitted — the
+    /// output-sensitive size of the product-free split space. On an
+    /// `n`-chain this is `n(n−1)(n+1)/6` and equals the DPccp
+    /// `dp.candidates_scanned` (each pair is scanned exactly once).
+    DpCcpPairsEmitted,
     /// Candidate splits discarded (disconnected, overlapping, or costed
     /// worse than the incumbent).
     DpCandidatesPruned,
@@ -96,7 +101,7 @@ pub enum Counter {
 
 /// All counters, in registry order. `Counter::ALL.len()` sizes the array.
 impl Counter {
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 20] = [
         Counter::OracleMemoHits,
         Counter::OracleSubsetsMaterialized,
         Counter::OracleSharedHits,
@@ -108,6 +113,7 @@ impl Counter {
         Counter::KernelTuplesEmitted,
         Counter::DpSubsetsExpanded,
         Counter::DpCandidatesScanned,
+        Counter::DpCcpPairsEmitted,
         Counter::DpCandidatesPruned,
         Counter::ExhaustiveStrategies,
         Counter::GreedyOracleCalls,
@@ -134,6 +140,7 @@ impl Counter {
             Counter::KernelTuplesEmitted => "kernel.tuples_emitted",
             Counter::DpSubsetsExpanded => "dp.subsets_expanded",
             Counter::DpCandidatesScanned => "dp.candidates_scanned",
+            Counter::DpCcpPairsEmitted => "dp.ccp_pairs_emitted",
             Counter::DpCandidatesPruned => "dp.candidates_pruned",
             Counter::ExhaustiveStrategies => "exhaustive.strategies_enumerated",
             Counter::GreedyOracleCalls => "greedy.oracle_calls",

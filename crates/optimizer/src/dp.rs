@@ -11,22 +11,67 @@
 //! charging every memo insert, and propagating oracle budget errors), and
 //! the legacy infallible wrapper running under [`Guard::unlimited`].
 
-use std::collections::HashMap;
-
 use mjoin_cost::{CardinalityOracle, SharedHandle, SyncCardinalityOracle};
 use mjoin_guard::{failpoints, Guard, MjoinError};
-use mjoin_hypergraph::{DbScheme, RelSet};
+use mjoin_hypergraph::{DbScheme, FastMap, RelSet, SchemeIndex};
 use mjoin_obs::{incr, Counter};
 use mjoin_strategy::Strategy;
 
 use crate::plan::Plan;
 
 /// DP memo entry: best cost plus the winning split (None for leaves).
-pub(crate) type SplitMemo = HashMap<RelSet, (u64, Option<(RelSet, RelSet)>)>;
+/// Keys are single-word bitsets, so the memo hashes with the splitmix64
+/// fast path rather than SipHash.
+pub(crate) type SplitMemo = FastMap<RelSet, (u64, Option<(RelSet, RelSet)>)>;
+
+/// The split memo exactly as the pre-streaming DPccp shipped it: a std
+/// `HashMap` under the default SipHash hasher. Only the rescan ablation
+/// arm uses it, so the `dp_enumeration` bench measures the full old-vs-new
+/// gap — scan strategy *and* memo representation — not just the scan.
+type LegacySplitMemo = std::collections::HashMap<RelSet, (u64, Option<(RelSet, RelSet)>)>;
 
 /// A candidate-scan result: the winning split with its children's summed
 /// cost, `None` when the target subset has no valid split.
 type BestSplit = Result<Option<((RelSet, RelSet), u64)>, MjoinError>;
+
+/// [`BestSplit`], but over dense ranks (the flat-table DP's currency).
+type FlatBestSplit = Result<Option<((u32, u32), u64)>, MjoinError>;
+
+/// A split memo over any hasher — [`try_rebuild`] is generic so the
+/// splitmix64 ([`SplitMemo`]) and SipHash ([`LegacySplitMemo`]) tables
+/// share it.
+type SplitMap<H> = std::collections::HashMap<RelSet, (u64, Option<(RelSet, RelSet)>), H>;
+
+/// The flat rank-indexed DPccp table, split into parallel arrays so the
+/// candidate scan touches only a bare `Vec<u64>` of costs (half the bytes
+/// of an interleaved `(cost, split)` layout — the scan is memory-bound).
+///
+/// `costs[r] = u64::MAX` marks an unsolved slot; the strict-`<` scan can
+/// never select one, so unsolved subsets are inert without a branch. A
+/// *solved* subset whose cost legitimately saturated to `u64::MAX` is
+/// disambiguated by `splits`: every solved non-singleton records its
+/// winning split there (singletons are solved at cost 0).
+struct FlatTable {
+    costs: Vec<u64>,
+    /// Winning `(csg_rank, cmp_rank)` per solved non-singleton.
+    splits: Vec<Option<(u32, u32)>>,
+}
+
+impl FlatTable {
+    fn unsolved(len: usize) -> FlatTable {
+        FlatTable {
+            costs: vec![u64::MAX; len],
+            splits: vec![None; len],
+        }
+    }
+
+    /// Whether `rank` was solved: a finite cost, or a recorded split, or a
+    /// singleton's zero — only the saturated-cost corner needs the split
+    /// probe.
+    fn solved(&self, rank: u32) -> bool {
+        self.costs[rank as usize] != u64::MAX || self.splits[rank as usize].is_some()
+    }
+}
 
 /// Enumeration style for the product-free DP — an ablation trio; all
 /// produce plans of identical cost.
@@ -61,8 +106,14 @@ pub fn try_best_bushy<O: CardinalityOracle>(
     guard: &Guard,
 ) -> Result<Plan, MjoinError> {
     failpoints::hit("optimizer::dp")?;
-    let mut memo: SplitMemo = HashMap::new();
-    let cost = bushy_rec(oracle, subset, &mut memo, guard)?;
+    let mut memo = SplitMemo::default();
+    let mut scanned = 0u64;
+    let cost = bushy_rec(oracle, subset, &mut memo, guard, &mut scanned)?;
+    // Counters are published once per search, not once per subproblem —
+    // the totals are identical, and the hot recursion stays free of
+    // atomics (the recorder-armed overhead budget is 2%).
+    incr(Counter::DpCandidatesScanned, scanned);
+    incr(Counter::DpSubsetsExpanded, memo.len() as u64);
     Ok(Plan {
         strategy: try_rebuild(subset, &memo)?,
         cost,
@@ -74,6 +125,7 @@ fn bushy_rec<O: CardinalityOracle>(
     s: RelSet,
     memo: &mut SplitMemo,
     guard: &Guard,
+    total_scanned: &mut u64,
 ) -> Result<u64, MjoinError> {
     if s.is_singleton() {
         return Ok(0);
@@ -81,24 +133,25 @@ fn bushy_rec<O: CardinalityOracle>(
     if let Some(&(c, _)) = memo.get(&s) {
         return Ok(c);
     }
-    guard.checkpoint()?;
+    // No entry checkpoint: `charge_memo` below polls cancellation and the
+    // deadline once per expanded subproblem, which is the same granularity
+    // with half the atomic traffic.
     let own = oracle.try_tau(s)?;
     let mut best = u64::MAX;
     let mut best_split = None;
     let mut scanned = 0u64;
     for (s1, s2) in s.proper_splits() {
         scanned += 1;
-        let c = bushy_rec(oracle, s1, memo, guard)?
-            .saturating_add(bushy_rec(oracle, s2, memo, guard)?);
+        let c = bushy_rec(oracle, s1, memo, guard, total_scanned)?
+            .saturating_add(bushy_rec(oracle, s2, memo, guard, total_scanned)?);
         if c < best {
             best = c;
             best_split = Some((s1, s2));
         }
     }
-    incr(Counter::DpCandidatesScanned, scanned);
+    *total_scanned += scanned;
     let total = own.saturating_add(best);
     guard.charge_memo(1)?;
-    incr(Counter::DpSubsetsExpanded, 1);
     memo.insert(s, (total, best_split));
     Ok(total)
 }
@@ -124,7 +177,7 @@ pub fn try_best_linear<O: CardinalityOracle>(
     failpoints::hit("optimizer::dp")?;
     // memo: prefix set → (cost, last relation added), cost = u64::MAX if
     // the prefix is unreachable under the no-product constraint.
-    let mut memo: HashMap<RelSet, (u64, Option<usize>)> = HashMap::new();
+    let mut memo: FastMap<RelSet, (u64, Option<usize>)> = FastMap::default();
     let cost = linear_rec(oracle, subset, no_cartesian, &mut memo, guard)?;
     if cost == u64::MAX {
         return Err(MjoinError::Internal(
@@ -163,7 +216,7 @@ fn linear_rec<O: CardinalityOracle>(
     oracle: &mut O,
     s: RelSet,
     no_cartesian: bool,
-    memo: &mut HashMap<RelSet, (u64, Option<usize>)>,
+    memo: &mut FastMap<RelSet, (u64, Option<usize>)>,
     guard: &Guard,
 ) -> Result<u64, MjoinError> {
     if s.is_singleton() {
@@ -173,7 +226,6 @@ fn linear_rec<O: CardinalityOracle>(
         return Ok(c);
     }
     guard.checkpoint()?;
-    let own = oracle.try_tau(s)?;
     let mut best = u64::MAX;
     let mut best_last = None;
     let mut scanned = 0u64;
@@ -186,7 +238,7 @@ fn linear_rec<O: CardinalityOracle>(
         // connected), so prune disconnected prefixes — this turns chain
         // queries from exponential into O(n²) subproblems.
         if no_cartesian
-            && (!oracle.scheme().linked(rest, RelSet::singleton(last))
+            && (!oracle.scheme().linked_disjoint(rest, RelSet::singleton(last))
                 || !oracle.scheme().connected(rest))
         {
             pruned += 1;
@@ -200,10 +252,16 @@ fn linear_rec<O: CardinalityOracle>(
     }
     incr(Counter::DpCandidatesScanned, scanned);
     incr(Counter::DpCandidatesPruned, pruned);
+    // τ(s) is computed *lazily*: only prefixes with a surviving
+    // product-free candidate pay for materialization. Unreachable
+    // prefixes (every candidate pruned — e.g. any prefix of an
+    // unconnected subset) memoize `u64::MAX` without ever touching the
+    // oracle, where the eager form materialized an intermediate it then
+    // threw away.
     let total = if best == u64::MAX {
         u64::MAX
     } else {
-        own.saturating_add(best)
+        oracle.try_tau(s)?.saturating_add(best)
     };
     guard.charge_memo(1)?;
     incr(Counter::DpSubsetsExpanded, 1);
@@ -234,7 +292,7 @@ pub fn try_best_no_cartesian<O: CardinalityOracle>(
     }
     match algorithm {
         DpAlgorithm::DpSub => {
-            let mut memo = HashMap::new();
+            let mut memo = SplitMemo::default();
             let Some(cost) = nocp_rec(oracle, subset, &mut memo, guard)? else {
                 return Ok(None);
             };
@@ -248,18 +306,220 @@ pub fn try_best_no_cartesian<O: CardinalityOracle>(
     }
 }
 
-/// The csg–cmp candidate scan for one target subset `s` of `DPccp`: every
-/// partition of `s` into connected linked halves, each enumerated once (the
-/// half containing min(s) is the canonical csg). Reads only strictly
-/// smaller subsets from `table`, so a whole size level can run this
-/// concurrently against a frozen table — the sequential and parallel DPs
-/// share this function, which is what makes them bit-identical.
-///
-/// Returns the winning split and the summed cost of its two children.
-fn ccp_best_split(
+/// The DPccp candidate pairs, one streaming enumeration for the whole DP:
+/// every (connected-subgraph, connected-complement) pair of the query
+/// graph, as dense ranks, grouped by the *size* of the target
+/// (`csg ∪ cmp`). Grouping by size is free — appends to a handful of
+/// per-level vectors, no scatter by rank — and it is exactly the
+/// granularity the bottom-up DP consumes: when level `k` is reached, every
+/// pair in `by_level[k]` has both children solved.
+struct LevelPairs {
+    /// `by_level[k]` = the `(target_rank, csg_rank, cmp_rank)` triples of
+    /// every csg–cmp pair whose union has size `k`, in enumeration order
+    /// (the tie-break in the scans does not depend on it).
+    by_level: Vec<Vec<(u32, u32, u32)>>,
+}
+
+/// Runs the streaming csg–cmp enumeration once and groups the emitted
+/// pairs by target size. Work and allocation are output-sensitive in the
+/// number of valid joins; the guard is checkpointed per emitted pair so a
+/// deadline can cancel mid-enumeration on hostile (clique-dense) schemes.
+fn build_level_pairs(
+    scheme: &DbScheme,
+    index: &SchemeIndex,
+    guard: &Guard,
+) -> Result<LevelPairs, MjoinError> {
+    let mut by_level: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); index.max_size() + 1];
+    let mut emitted = 0u64;
+    scheme.try_for_each_ccp(index.within(), &mut |csg, cmp| {
+        guard.checkpoint()?;
+        let union = csg.union(cmp);
+        let (Some(t), Some(r1), Some(r2)) =
+            (index.rank(union), index.rank(csg), index.rank(cmp))
+        else {
+            return Err(MjoinError::Internal(
+                "csg–cmp enumeration emitted a subset missing from the rank index".into(),
+            ));
+        };
+        emitted += 1;
+        by_level[union.len()].push((t, r1, r2));
+        Ok(())
+    })?;
+    incr(Counter::DpCcpPairsEmitted, emitted);
+    Ok(LevelPairs { by_level })
+}
+
+/// The per-target CSR view of [`LevelPairs`], built only for the parallel
+/// DP, whose unit of scheduling is one target subset. The legacy scan
+/// visited each target's splits in ascending csg bit pattern and kept the
+/// first minimum; the flat scan recovers exactly that winner
+/// order-independently, by minimizing `(cost, csg_rank)` — so the chosen
+/// plans stay bit-identical without sorting any bucket.
+struct CcpCandidates {
+    /// `offsets[t]..offsets[t + 1]` delimits target rank `t`'s pairs.
+    offsets: Vec<usize>,
+    /// `(csg_rank, cmp_rank)` per pair, in enumeration order within each
+    /// target bucket (the scan's tie-break does not depend on it).
+    pairs: Vec<(u32, u32)>,
+}
+
+/// Buckets the emitted pairs by target rank with a counting-sort scatter —
+/// no comparison sort anywhere, no second graph enumeration.
+fn build_ccp_candidates(levels: &LevelPairs, len: usize) -> CcpCandidates {
+    let mut offsets = vec![0usize; len + 1];
+    for level in &levels.by_level {
+        for &(t, _, _) in level {
+            offsets[t as usize + 1] += 1;
+        }
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor = offsets.clone();
+    let mut pairs = vec![(0u32, 0u32); offsets[len]];
+    for level in &levels.by_level {
+        for &(t, r1, r2) in level {
+            let slot = &mut cursor[t as usize];
+            pairs[*slot] = (r1, r2);
+            *slot += 1;
+        }
+    }
+    CcpCandidates { offsets, pairs }
+}
+
+/// The flat-table DPccp candidate scan for one target rank: walk the
+/// precomputed csg–cmp pairs, two `Vec` probes per pair. The winner is the
+/// `(cost, csg_rank)`-lexicographic minimum — the same split the legacy
+/// ascending-csg scan's first-minimum rule chose, but independent of
+/// bucket order. Reads only strictly smaller subsets from `costs`, so a
+/// whole size level can run this concurrently against a frozen table — the
+/// sequential and parallel DPs share this function, which is what makes
+/// them bit-identical at any thread count.
+fn ccp_scan_flat(
+    cands: &CcpCandidates,
+    target: u32,
+    costs: &[u64],
+    guard: &Guard,
+) -> FlatBestSplit {
+    let mut best = u64::MAX;
+    let mut best_split: Option<(u32, u32)> = None;
+    let bucket = &cands.pairs[cands.offsets[target as usize]..cands.offsets[target as usize + 1]];
+    for &(r1, r2) in bucket {
+        guard.checkpoint()?;
+        // Unsolved children carry the MAX sentinel: the sum saturates and
+        // loses every comparison, so no presence branch is needed. (In
+        // DPccp every child is in fact solved — each connected subset has
+        // at least one valid split.)
+        let cost = costs[r1 as usize].saturating_add(costs[r2 as usize]);
+        if cost < best || (cost == best && best_split.is_some_and(|(b1, _)| r1 < b1)) {
+            best = cost;
+            best_split = Some((r1, r2));
+        }
+    }
+    incr(Counter::DpCandidatesScanned, bucket.len() as u64);
+    Ok(best_split.map(|split| (split, best)))
+}
+
+/// Rebuilds a strategy from the flat rank-indexed table (the `Vec` twin of
+/// [`try_rebuild`]).
+fn try_rebuild_flat(
+    rank: u32,
+    index: &SchemeIndex,
+    table: &FlatTable,
+) -> Result<Strategy, MjoinError> {
+    let s = index.subset(rank);
+    if s.is_singleton() {
+        let Some(i) = s.first() else {
+            return Err(MjoinError::Internal("singleton with no member".into()));
+        };
+        return Ok(Strategy::leaf(i));
+    }
+    let Some((r1, r2)) = table.splits[rank as usize] else {
+        return Err(MjoinError::Internal(format!(
+            "DP table records no split for solved subset {s:?}"
+        )));
+    };
+    Strategy::join(
+        try_rebuild_flat(r1, index, table)?,
+        try_rebuild_flat(r2, index, table)?,
+    )
+    .map_err(|e| MjoinError::Internal(format!("memoized splits must be disjoint: {e}")))
+}
+
+fn nocp_dpccp<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    guard: &Guard,
+) -> Result<Option<Plan>, MjoinError> {
+    // One connected-subset enumeration builds the rank index, one csg–cmp
+    // enumeration builds every candidate list; the DP itself then touches
+    // no hash table and no graph predicate — just flat `Vec` slots.
+    let index = SchemeIndex::new(oracle.scheme(), subset);
+    let levels = build_level_pairs(oracle.scheme(), &index, guard)?;
+    let mut table = FlatTable::unsolved(index.len());
+    for &r in index.level(1) {
+        guard.charge_memo(1)?;
+        incr(Counter::DpSubsetsExpanded, 1);
+        table.costs[r as usize] = 0;
+    }
+    // Per-rank accumulator of the running `(cost, csg_rank)`-lexicographic
+    // minimum, reused across levels: each level sweeps its pair list once,
+    // folding every pair into its target's slot, then finalizes (and
+    // resets) exactly the slots of that level's targets. This visits the
+    // same pairs the per-target scan would, but in one sequential pass per
+    // level whose random writes stay inside one level-sized window.
+    let mut acc_cost = vec![u64::MAX; index.len()];
+    let mut acc_split = vec![(0u32, 0u32); index.len()];
+    for size in 2..=index.max_size() {
+        let level_pairs = &levels.by_level[size];
+        for &(t, r1, r2) in level_pairs {
+            guard.checkpoint()?;
+            // Unsolved children carry the MAX sentinel: the sum saturates
+            // and loses every comparison (the `cost != MAX` arm keeps a
+            // saturated sum from tying an empty slot). In DPccp every
+            // child is in fact solved — each connected subset has at
+            // least one valid split.
+            let cost = table.costs[r1 as usize].saturating_add(table.costs[r2 as usize]);
+            let cur = acc_cost[t as usize];
+            if cost < cur || (cost == cur && cost != u64::MAX && r1 < acc_split[t as usize].0) {
+                acc_cost[t as usize] = cost;
+                acc_split[t as usize] = (r1, r2);
+            }
+        }
+        incr(Counter::DpCandidatesScanned, level_pairs.len() as u64);
+        for &r in index.level(size) {
+            guard.checkpoint()?;
+            let children = acc_cost[r as usize];
+            if children != u64::MAX {
+                acc_cost[r as usize] = u64::MAX;
+                let total = oracle.try_tau(index.subset(r))?.saturating_add(children);
+                guard.charge_memo(1)?;
+                incr(Counter::DpSubsetsExpanded, 1);
+                table.costs[r as usize] = total;
+                table.splits[r as usize] = Some(acc_split[r as usize]);
+            }
+        }
+    }
+    let Some(root) = index.rank(subset) else {
+        return Ok(None);
+    };
+    if !table.solved(root) {
+        return Ok(None);
+    }
+    Ok(Some(Plan {
+        strategy: try_rebuild_flat(root, &index, &table)?,
+        cost: table.costs[root as usize],
+    }))
+}
+
+/// The pre-index DPccp candidate scan, kept verbatim as an ablation
+/// baseline: re-enumerates `connected_subsets(s)` for *every* target and
+/// re-derives connectivity/linkage per candidate. See
+/// [`try_best_no_cartesian_ccp_rescan`].
+fn ccp_best_split_rescan(
     scheme: &DbScheme,
     s: RelSet,
-    table: &SplitMemo,
+    table: &LegacySplitMemo,
     guard: &Guard,
 ) -> BestSplit {
     let Some(first) = s.first() else {
@@ -297,16 +557,26 @@ fn ccp_best_split(
     Ok(best_split.map(|split| (split, best)))
 }
 
-fn nocp_dpccp<O: CardinalityOracle>(
+/// The DPccp implementation this PR replaced: per-target re-enumeration of
+/// `connected_subsets`, std hash-map (SipHash) memo, attribute-fold
+/// predicates. Retained
+/// (not CLI-reachable) as the old arm of the `dp_enumeration` bench so the
+/// streaming enumerator's speedup stays measurable; returns plans and
+/// costs bit-identical to [`DpAlgorithm::DpCcp`].
+pub fn try_best_no_cartesian_ccp_rescan<O: CardinalityOracle>(
     oracle: &mut O,
     subset: RelSet,
     guard: &Guard,
 ) -> Result<Option<Plan>, MjoinError> {
+    failpoints::hit("optimizer::dp")?;
+    if !oracle.scheme().connected(subset) {
+        return Ok(None);
+    }
     // Connected subsets in ascending bit-pattern order; processing by
     // increasing size guarantees sub-plans exist before they're combined.
     let mut connected = oracle.scheme().connected_subsets(subset);
     connected.sort_by_key(|s| s.len());
-    let mut table: SplitMemo = HashMap::new();
+    let mut table = LegacySplitMemo::default();
     for &s in &connected {
         guard.checkpoint()?;
         if s.is_singleton() {
@@ -315,7 +585,7 @@ fn nocp_dpccp<O: CardinalityOracle>(
             table.insert(s, (0, None));
             continue;
         }
-        let found = ccp_best_split(oracle.scheme(), s, &table, guard)?;
+        let found = ccp_best_split_rescan(oracle.scheme(), s, &table, guard)?;
         if let Some((split, children)) = found {
             let total = oracle.try_tau(s)?.saturating_add(children);
             guard.charge_memo(1)?;
@@ -353,9 +623,9 @@ fn nocp_rec<O: CardinalityOracle>(
     // both halves must be connected and linked to each other.
     for (s1, s2) in s.proper_splits() {
         scanned += 1;
-        if !oracle.scheme().connected(s1)
+        if !oracle.scheme().linked_disjoint(s1, s2)
+            || !oracle.scheme().connected(s1)
             || !oracle.scheme().connected(s2)
-            || !oracle.scheme().linked(s1, s2)
         {
             pruned += 1;
             continue;
@@ -421,7 +691,7 @@ fn dpsize_best_split(
                 pruned += 1;
                 continue; // each unordered pair once
             }
-            if !scheme.linked(s1, s2) {
+            if !scheme.linked_disjoint(s1, s2) {
                 pruned += 1;
                 continue;
             }
@@ -454,7 +724,7 @@ fn nocp_dpsize<O: CardinalityOracle>(
     for s in connected {
         by_size[s.len()].push(s);
     }
-    let mut table: SplitMemo = HashMap::new();
+    let mut table = SplitMemo::default();
     for &s in &by_size[1] {
         guard.charge_memo(1)?;
         incr(Counter::DpSubsetsExpanded, 1);
@@ -587,7 +857,7 @@ fn combine_component_plans(
     }
 
     let k = plans.len();
-    let mut memo: SplitMemo = HashMap::new();
+    let mut memo = SplitMemo::default();
     let base: Vec<u64> = plans.iter().map(|p| p.cost).collect();
     let full = RelSet::full(k);
     let cost = combo(full, &sizes, &base, &mut memo, guard)?;
@@ -599,8 +869,12 @@ fn combine_component_plans(
 
 /// Rebuilds a strategy from a split table. Memo corruption (a solved
 /// subset with no recorded split, or overlapping splits) surfaces as
-/// [`MjoinError::Internal`] rather than a panic.
-pub(crate) fn try_rebuild(s: RelSet, memo: &SplitMemo) -> Result<Strategy, MjoinError> {
+/// [`MjoinError::Internal`] rather than a panic. Generic over the hasher
+/// so the legacy (SipHash) rescan arm can share it.
+pub(crate) fn try_rebuild<H: std::hash::BuildHasher>(
+    s: RelSet,
+    memo: &SplitMap<H>,
+) -> Result<Strategy, MjoinError> {
     if s.is_singleton() {
         let Some(i) = s.first() else {
             return Err(MjoinError::Internal("singleton with no member".into()));
@@ -627,10 +901,11 @@ pub(crate) fn try_rebuild(s: RelSet, memo: &SplitMemo) -> Result<Strategy, Mjoin
 /// reads only *previous* levels, this makes the parallel DP's merge
 /// deterministic: the table after each level is independent of the thread
 /// count, so plans and costs are bit-identical to the 1-thread run.
-fn run_level<T, F>(items: &[RelSet], threads: usize, work: F) -> Result<Vec<T>, MjoinError>
+fn run_level<I, T, F>(items: &[I], threads: usize, work: F) -> Result<Vec<T>, MjoinError>
 where
+    I: Copy + Sync,
     T: Send,
-    F: Fn(RelSet) -> Result<T, MjoinError> + Sync,
+    F: Fn(I) -> Result<T, MjoinError> + Sync,
 {
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(|&s| work(s)).collect();
@@ -683,7 +958,7 @@ pub fn try_best_no_cartesian_parallel<O: SyncCardinalityOracle>(
     }
     if algorithm == DpAlgorithm::DpSub {
         let mut handle = SharedHandle::new(oracle);
-        let mut memo = HashMap::new();
+        let mut memo = SplitMemo::default();
         let Some(cost) = nocp_rec(&mut handle, subset, &mut memo, guard)? else {
             return Ok(None);
         };
@@ -692,13 +967,61 @@ pub fn try_best_no_cartesian_parallel<O: SyncCardinalityOracle>(
             cost,
         }));
     }
+    if algorithm == DpAlgorithm::DpCcp {
+        // Same index + candidate enumeration + tie-break as the sequential
+        // DPccp; the unit of scheduling here is one target subset, so the
+        // level pair lists are scattered into a per-target CSR view, and
+        // the merge back into the frozen table happens in rank order.
+        let index = SchemeIndex::new(scheme, subset);
+        let cands = build_ccp_candidates(&build_level_pairs(scheme, &index, guard)?, index.len());
+        let mut table = FlatTable::unsolved(index.len());
+        for &r in index.level(1) {
+            guard.charge_memo(1)?;
+            incr(Counter::DpSubsetsExpanded, 1);
+            table.costs[r as usize] = 0;
+        }
+        for size in 2..=index.max_size() {
+            let level = index.level(size);
+            if level.is_empty() {
+                continue;
+            }
+            let results = run_level(level, threads, |r: u32| {
+                guard.checkpoint()?;
+                match ccp_scan_flat(&cands, r, &table.costs, guard)? {
+                    None => Ok(None),
+                    Some((split, children)) => {
+                        let total = oracle.try_tau(index.subset(r))?.saturating_add(children);
+                        Ok(Some((total, split)))
+                    }
+                }
+            })?;
+            for (i, r) in results.into_iter().enumerate() {
+                if let Some((total, split)) = r {
+                    guard.charge_memo(1)?;
+                    incr(Counter::DpSubsetsExpanded, 1);
+                    table.costs[level[i] as usize] = total;
+                    table.splits[level[i] as usize] = Some(split);
+                }
+            }
+        }
+        let Some(root) = index.rank(subset) else {
+            return Ok(None);
+        };
+        if !table.solved(root) {
+            return Ok(None);
+        }
+        return Ok(Some(Plan {
+            strategy: try_rebuild_flat(root, &index, &table)?,
+            cost: table.costs[root as usize],
+        }));
+    }
     let connected = scheme.connected_subsets(subset);
     let n = subset.len();
     let mut by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
     for s in connected {
         by_size[s.len()].push(s);
     }
-    let mut table: SplitMemo = HashMap::new();
+    let mut table = SplitMemo::default();
     for &s in &by_size[1] {
         guard.charge_memo(1)?;
         incr(Counter::DpSubsetsExpanded, 1);
@@ -711,11 +1034,7 @@ pub fn try_best_no_cartesian_parallel<O: SyncCardinalityOracle>(
         }
         let results = run_level(level, threads, |u| {
             guard.checkpoint()?;
-            let found = match algorithm {
-                DpAlgorithm::DpSize => dpsize_best_split(scheme, u, &by_size, &table, guard)?,
-                _ => ccp_best_split(scheme, u, &table, guard)?,
-            };
-            match found {
+            match dpsize_best_split(scheme, u, &by_size, &table, guard)? {
                 None => Ok(None),
                 Some((split, children)) => {
                     let total = oracle.try_tau(u)?.saturating_add(children);
@@ -927,6 +1246,82 @@ mod tests {
         let guarded = try_best_bushy(&mut o2, full, &Guard::new(Budget::unlimited())).unwrap();
         assert_eq!(legacy.cost, guarded.cost);
         assert_eq!(legacy.strategy, guarded.strategy);
+    }
+
+    /// Wraps an oracle and counts `tau`/`try_tau` calls, for asserting on
+    /// *when* the DP pays for materialization.
+    struct CountingOracle<'a, O> {
+        inner: &'a mut O,
+        tau_calls: u64,
+    }
+
+    impl<O: CardinalityOracle> CardinalityOracle for CountingOracle<'_, O> {
+        fn scheme(&self) -> &DbScheme {
+            self.inner.scheme()
+        }
+        fn tau(&mut self, subset: RelSet) -> u64 {
+            self.tau_calls += 1;
+            self.inner.tau(subset)
+        }
+        fn try_tau(&mut self, subset: RelSet) -> Result<u64, MjoinError> {
+            self.tau_calls += 1;
+            self.inner.try_tau(subset)
+        }
+    }
+
+    #[test]
+    fn linear_dp_computes_tau_lazily_on_unreachable_prefixes() {
+        // Two components: every prefix of the full set is unreachable
+        // under no_cartesian, so the DP must fail *without a single τ
+        // call* — the eager form materialized the full Cartesian product
+        // first and then threw it away.
+        let db = Database::from_specs(&[
+            ("AB", vec![vec![1, 10], vec![2, 20]]),
+            ("BC", vec![vec![10, 5], vec![20, 6]]),
+            ("XY", vec![vec![0, 0], vec![1, 1]]),
+        ])
+        .unwrap();
+        let mut inner = ExactOracle::new(&db);
+        let mut o = CountingOracle { inner: &mut inner, tau_calls: 0 };
+        let full = db.scheme().full_set();
+        let err = try_best_linear(&mut o, full, true, &Guard::unlimited()).unwrap_err();
+        assert!(matches!(err, MjoinError::Internal(_)), "{err}");
+        assert_eq!(o.tau_calls, 0, "unreachable prefixes must not touch the oracle");
+
+        // On a connected input the lazy form still materializes exactly
+        // one τ per expanded prefix, and the plan is unchanged.
+        let db = chain4();
+        let mut inner = ExactOracle::new(&db);
+        let mut o = CountingOracle { inner: &mut inner, tau_calls: 0 };
+        let full = db.scheme().full_set();
+        let plan = try_best_linear(&mut o, full, true, &Guard::unlimited()).unwrap();
+        // 4-chain: connected prefixes of size ≥ 2 are the 3 + 2 + 1
+        // contiguous runs = 6 expanded non-singleton prefixes.
+        assert_eq!(o.tau_calls, 6);
+        let mut o2 = ExactOracle::new(&db);
+        assert_eq!(plan.cost, best_linear(&mut o2, full, true).cost);
+    }
+
+    #[test]
+    fn streaming_dpccp_matches_the_rescan_baseline() {
+        use mjoin_gen::{data, data::DataConfig, schemes};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in 2..=7 {
+            let (cat, scheme) = schemes::random_connected(n, 2, &mut rng);
+            let cfg = DataConfig { tuples_per_relation: 3, domain: 4, ensure_nonempty: true };
+            let db = data::uniform(cat, scheme, &cfg, &mut rng);
+            let full = db.scheme().full_set();
+            let mut o1 = ExactOracle::new(&db);
+            let new = best_no_cartesian(&mut o1, full, DpAlgorithm::DpCcp).unwrap();
+            let mut o2 = ExactOracle::new(&db);
+            let old = try_best_no_cartesian_ccp_rescan(&mut o2, full, &Guard::unlimited())
+                .unwrap()
+                .unwrap();
+            assert_eq!(new.cost, old.cost, "n={n}");
+            assert_eq!(new.strategy, old.strategy, "n={n}");
+        }
     }
 
     #[test]

@@ -14,8 +14,6 @@
 //! Monotonicity is a per-step predicate on subset cardinalities, so it
 //! composes with the same subset DP as everything else.
 
-use std::collections::HashMap;
-
 use mjoin_cost::CardinalityOracle;
 use mjoin_hypergraph::RelSet;
 use mjoin_strategy::Strategy;
@@ -40,7 +38,7 @@ pub fn best_monotone<O: CardinalityOracle>(
     direction: Monotonicity,
 ) -> Option<Plan> {
     assert!(!subset.is_empty(), "cannot optimize the empty database");
-    let mut memo: SplitMemo = HashMap::new();
+    let mut memo = SplitMemo::default();
     let cost = mono_rec(oracle, subset, direction, &mut memo)?;
     Some(Plan {
         strategy: rebuild(subset, &memo),

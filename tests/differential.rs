@@ -164,6 +164,54 @@ fn chain_dp_expands_the_closed_form_subset_count() {
     }
 }
 
+/// DPccp's candidate scan is output-sensitive: on a 12-chain the streaming
+/// csg–cmp enumerator emits exactly the n(n−1)(n+1)/6 = 286 valid
+/// (contiguous-run, contiguous-run) splits, the DP scans each pair exactly
+/// once — no per-target `connected_subsets` rescans — and still expands
+/// every one of the n(n+1)/2 = 78 connected subsets. Locked sequentially
+/// and at 2/4 workers (the enumeration runs once, up front, either way).
+#[test]
+fn chain_dpccp_scans_only_the_emitted_ccp_pairs() {
+    // Closed-form oracle: 12 relations of exact materialization would
+    // dominate the test; the counters under scrutiny are pure plan-search
+    // counts and identical for any oracle.
+    let n = 12usize;
+    let (_c, s) = schemes::chain(n);
+    let full = s.full_set();
+    let guard = Guard::unlimited();
+    let pairs = (n * (n - 1) * (n + 1) / 6) as u64;
+    let subsets = (n * (n + 1) / 2) as u64;
+
+    {
+        // Scoped: the recorder must drop before the parallel runs re-arm.
+        let rec = Recorder::arm();
+        let mut oracle = mjoin::SyntheticOracle::new(s.clone(), vec![1000; n], 500);
+        try_best_no_cartesian(&mut oracle, full, DpAlgorithm::DpCcp, &guard)
+            .unwrap()
+            .expect("chains are connected");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(Counter::DpCcpPairsEmitted), pairs);
+        assert_eq!(
+            snap.counter(Counter::DpCandidatesScanned),
+            pairs,
+            "every scanned candidate must be an emitted csg–cmp pair"
+        );
+        assert_eq!(snap.counter(Counter::DpSubsetsExpanded), subsets);
+    }
+
+    for threads in [2usize, 4] {
+        let rec = Recorder::arm();
+        let shared = mjoin::SyntheticOracle::new(s.clone(), vec![1000; n], 500);
+        try_best_no_cartesian_parallel(&shared, full, DpAlgorithm::DpCcp, &guard, threads)
+            .unwrap()
+            .expect("chains are connected");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(Counter::DpCcpPairsEmitted), pairs, "@{threads}");
+        assert_eq!(snap.counter(Counter::DpCandidatesScanned), pairs, "@{threads}");
+        assert_eq!(snap.counter(Counter::DpSubsetsExpanded), subsets, "@{threads}");
+    }
+}
+
 /// Exhaustive enumeration visits exactly (2k−3)!! strategies, and the
 /// counter sees each exactly once at any thread count.
 #[test]
