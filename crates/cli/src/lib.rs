@@ -30,14 +30,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod serve;
+
+pub use serve::MjoinEngine;
+
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use mjoin::{
     analyze_guarded, failpoints, optimize_database_robust_threaded,
     try_best_avoid_cartesian_parallel, try_best_no_cartesian_parallel, try_optimize, Budget,
-    Condition, Database, DpAlgorithm, ExactOracle, Guard, SearchSpace, SharedOracle, Strategy,
-    Value,
+    Condition, Database, DpAlgorithm, ExactOracle, Guard, MjoinError, SearchSpace, SharedOracle,
+    Strategy, Value,
 };
 use mjoin_fd::FdSet;
 use mjoin_hypergraph::{DbScheme, JoinTree};
@@ -322,6 +326,134 @@ fn parse_space(s: &str) -> Result<SearchSpace, CliError> {
     }
 }
 
+/// The rendered result of one `optimize` invocation: exactly the text the
+/// `optimize` command prints, plus the structured pieces the serve daemon
+/// and the metrics sections reuse.
+#[derive(Clone, Debug)]
+pub struct OptimizeOutcome {
+    /// The report text, byte-identical to the `optimize` command output.
+    pub text: String,
+    /// The plan's τ, when one was costed within budget.
+    pub cost: Option<u64>,
+    /// Budgeted mode only: the degradation ladder's full result.
+    pub robust: Option<mjoin::RobustPlan>,
+}
+
+/// Runs the `optimize` command's planning paths — budgeted ladder,
+/// parallel DP, or sequential DP, chosen exactly as the CLI does — and
+/// renders the report. Shared by the CLI and the serve daemon so a served
+/// plan is byte-identical to the CLI's.
+pub fn optimize_outcome(
+    db: &Database,
+    space: SearchSpace,
+    gopts: &GuardOptions,
+) -> Result<OptimizeOutcome, MjoinError> {
+    let budget = gopts.budget();
+    let guard = Guard::new(budget);
+    let threads = gopts.threads();
+    let mut out = String::new();
+    let mut cost = None;
+    let mut robust = None;
+    if gopts.is_limited() {
+        // Budgeted mode: the degradation ladder always answers with
+        // some valid strategy and reports which rung produced it.
+        // (`optimize_database_robust_threaded` at 1 thread *is* the
+        // sequential ladder.)
+        let r = optimize_database_robust_threaded(db, space, budget, None, threads)?;
+        let _ = writeln!(out, "search space: {space:?}");
+        let _ = writeln!(
+            out,
+            "plan: {}",
+            r.plan.strategy.render(db.catalog(), db.scheme())
+        );
+        if r.plan.cost == u64::MAX {
+            let _ = writeln!(out, "τ = (not costed within budget)");
+        } else {
+            let _ = writeln!(out, "τ = {}", r.plan.cost);
+        }
+        let _ = writeln!(out, "degradation: {}", r.report);
+        if r.plan.cost != u64::MAX {
+            cost = Some(r.plan.cost);
+        }
+        robust = Some(r);
+    } else if threads > 1 {
+        // Multi-core search over one shared memo: level-parallel DP
+        // for the product-free spaces, sequential DP over the shared
+        // oracle for the rest.
+        let shared = SharedOracle::with_guard(db, guard.clone()).with_join_threads(threads);
+        let full = db.scheme().full_set();
+        let plan = match space {
+            SearchSpace::NoCartesian => {
+                try_best_no_cartesian_parallel(&shared, full, DpAlgorithm::DpCcp, &guard, threads)
+            }
+            SearchSpace::AvoidCartesian => {
+                try_best_avoid_cartesian_parallel(&shared, full, DpAlgorithm::DpCcp, &guard, threads)
+            }
+            _ => try_optimize(&mut shared.handle(), full, space, &guard),
+        }?;
+        match plan {
+            Some(plan) => {
+                let _ = writeln!(out, "search space: {space:?}");
+                let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut shared.handle()));
+                cost = Some(plan.cost);
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "search space {space:?} is empty for this (unconnected) scheme"
+                );
+            }
+        }
+    } else {
+        let mut oracle = ExactOracle::with_guard(db, guard.clone());
+        match try_optimize(&mut oracle, db.scheme().full_set(), space, &guard)? {
+            Some(plan) => {
+                let _ = writeln!(out, "search space: {space:?}");
+                let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
+                cost = Some(plan.cost);
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "search space {space:?} is empty for this (unconnected) scheme"
+                );
+            }
+        }
+    }
+    Ok(OptimizeOutcome {
+        text: out,
+        cost,
+        robust,
+    })
+}
+
+/// Plans and executes under `estimation`/`config`, rendering exactly the
+/// text the `execute` command prints. Shared by the CLI and the serve
+/// daemon.
+pub fn execute_report(
+    db: &Database,
+    estimation: &mjoin_adaptive::Estimation,
+    config: &mjoin_adaptive::AdaptiveConfig,
+) -> Result<(String, mjoin_adaptive::ExecutionOutcome), MjoinError> {
+    let space = config.space;
+    let (plan, outcome) = mjoin_adaptive::plan_and_execute(db, estimation, config)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "search space: {space:?}");
+    let _ = writeln!(
+        out,
+        "plan: {}",
+        plan.strategy.render(db.catalog(), db.scheme())
+    );
+    if plan.cost == u64::MAX {
+        let _ = writeln!(out, "believed τ = (not costed)");
+    } else {
+        let _ = writeln!(out, "believed τ = {}", plan.cost);
+    }
+    out.push_str(&outcome.trace.render(db.catalog(), db.scheme()));
+    let _ = writeln!(out, "result: {} tuples", outcome.result.tau());
+    Ok((out, outcome))
+}
+
 /// Runs a CLI invocation (`args` excludes the program name) against `read`,
 /// a file loader — injected so tests run without a filesystem. Returns the
 /// full report text.
@@ -341,6 +473,19 @@ where
                  dot        DB [SPACE]     best plan as a Graphviz digraph\n\
                  reduce     DB             semijoin-reduce the database (full reducer / fixpoint)\n\
                  show       DB             print every relation state and the join result\n\
+                 serve      [FLAGS]        TCP daemon: newline-delimited JSON optimize/execute requests\n\
+                 failpoints                list every registered fault-injection site\n\
+                 \n\
+                 serve mode (serve):\n\
+                 --addr HOST:PORT          bind address (default 127.0.0.1:7411; port 0 = OS-assigned)\n\
+                 --workers N               worker threads draining the queue (default 2)\n\
+                 --queue-cap N             admission-queue capacity; beyond it requests are shed (default 64)\n\
+                 --max-request-bytes N     per-request size cap (default 1048576)\n\
+                 --read-timeout-ms N       per-connection read timeout (default 10000)\n\
+                 --max-timeout-ms N        ceiling on any per-request deadline (default 600000)\n\
+                 --cache-cap N             plan-cache entry cap, 0 disables (default 256)\n\
+                 --shed-retry-ms N         retry-after hint on shed responses (default 50)\n\
+                 --addr-file PATH          write the bound address here once listening\n\
                  \n\
                  adaptive execution (execute):\n\
                  --adaptive                re-optimize mid-query when a stage's q-error drifts\n\
@@ -365,9 +510,30 @@ where
     if command == "help" || command == "--help" {
         return Ok(usage.to_string());
     }
+    if command == "failpoints" {
+        // Operator discovery: every injectable site with its owner, so
+        // nobody has to read the guard crate to find the names.
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "registered failpoint sites ({}):",
+            failpoints::SITES.len()
+        );
+        for (site, doc) in failpoints::SITE_DOCS {
+            let _ = writeln!(out, "  {site:<24} {doc}");
+        }
+        let _ = writeln!(
+            out,
+            "arm with --fail-inject SITE[,SITE..] or MJOIN_FAIL_INJECT=SITE[,SITE..]"
+        );
+        return Ok(out);
+    }
     let _armed = ArmedSites(gopts.fail_inject.clone());
     for site in &gopts.fail_inject {
         failpoints::arm(site);
+    }
+    if command == "serve" {
+        return serve::serve_command(&args[1..], &gopts);
     }
     let budget = gopts.budget();
     let guard = Guard::new(budget);
@@ -443,82 +609,11 @@ where
                 Some(s) => parse_space(s)?,
                 None => SearchSpace::All,
             };
-            let threads = gopts.threads();
-            if gopts.is_limited() {
-                // Budgeted mode: the degradation ladder always answers with
-                // some valid strategy and reports which rung produced it.
-                // (`optimize_database_robust_threaded` at 1 thread *is* the
-                // sequential ladder.)
-                let r = optimize_database_robust_threaded(db, space, budget, None, threads)
-                    .map_err(fail)?;
-                let _ = writeln!(out, "search space: {space:?}");
-                let _ = writeln!(
-                    out,
-                    "plan: {}",
-                    r.plan.strategy.render(db.catalog(), db.scheme())
-                );
-                if r.plan.cost == u64::MAX {
-                    let _ = writeln!(out, "τ = (not costed within budget)");
-                } else {
-                    let _ = writeln!(out, "τ = {}", r.plan.cost);
-                }
-                let _ = writeln!(out, "degradation: {}", r.report);
-                if recorder.is_some() {
+            let o = optimize_outcome(db, space, &gopts).map_err(fail)?;
+            out.push_str(&o.text);
+            if recorder.is_some() {
+                if let Some(r) = &o.robust {
                     sections.push(("degradation", mjoin::degradation_section(&r.report)));
-                }
-            } else if threads > 1 {
-                // Multi-core search over one shared memo: level-parallel DP
-                // for the product-free spaces, sequential DP over the shared
-                // oracle for the rest.
-                let shared =
-                    SharedOracle::with_guard(db, guard.clone()).with_join_threads(threads);
-                let full = db.scheme().full_set();
-                let plan = match space {
-                    SearchSpace::NoCartesian => try_best_no_cartesian_parallel(
-                        &shared,
-                        full,
-                        DpAlgorithm::DpCcp,
-                        &guard,
-                        threads,
-                    ),
-                    SearchSpace::AvoidCartesian => try_best_avoid_cartesian_parallel(
-                        &shared,
-                        full,
-                        DpAlgorithm::DpCcp,
-                        &guard,
-                        threads,
-                    ),
-                    _ => try_optimize(&mut shared.handle(), full, space, &guard),
-                }
-                .map_err(fail)?;
-                match plan {
-                    Some(plan) => {
-                        let _ = writeln!(out, "search space: {space:?}");
-                        let _ =
-                            writeln!(out, "{}", plan.explain(db.catalog(), &mut shared.handle()));
-                    }
-                    None => {
-                        let _ = writeln!(
-                            out,
-                            "search space {space:?} is empty for this (unconnected) scheme"
-                        );
-                    }
-                }
-            } else {
-                let mut oracle = ExactOracle::with_guard(db, guard.clone());
-                match try_optimize(&mut oracle, db.scheme().full_set(), space, &guard)
-                    .map_err(fail)?
-                {
-                    Some(plan) => {
-                        let _ = writeln!(out, "search space: {space:?}");
-                        let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
-                    }
-                    None => {
-                        let _ = writeln!(
-                            out,
-                            "search space {space:?} is empty for this (unconnected) scheme"
-                        );
-                    }
                 }
             }
         }
@@ -592,21 +687,8 @@ where
                 },
                 ..mjoin_adaptive::AdaptiveConfig::default()
             };
-            let (plan, outcome) =
-                mjoin_adaptive::plan_and_execute(db, &estimation, &config).map_err(fail)?;
-            let _ = writeln!(out, "search space: {space:?}");
-            let _ = writeln!(
-                out,
-                "plan: {}",
-                plan.strategy.render(db.catalog(), db.scheme())
-            );
-            if plan.cost == u64::MAX {
-                let _ = writeln!(out, "believed τ = (not costed)");
-            } else {
-                let _ = writeln!(out, "believed τ = {}", plan.cost);
-            }
-            out.push_str(&outcome.trace.render(db.catalog(), db.scheme()));
-            let _ = writeln!(out, "result: {} tuples", outcome.result.tau());
+            let (text, outcome) = execute_report(db, &estimation, &config).map_err(fail)?;
+            out.push_str(&text);
             if recorder.is_some() {
                 sections.push((
                     "adaptive",

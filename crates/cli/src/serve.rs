@@ -1,0 +1,193 @@
+//! The `serve` command: a long-running optimizer daemon over TCP, built
+//! on [`mjoin_serve`] with this crate's rendering as the engine.
+//!
+//! The engine reuses [`optimize_outcome`] and [`execute_report`] — the
+//! exact functions behind the `optimize` and `execute` commands — so a
+//! served plan is byte-identical to the equivalent CLI invocation by
+//! construction, not by parallel maintenance.
+
+use std::fmt::Write as _;
+
+use mjoin::{MjoinError, SearchSpace};
+use mjoin_obs::Json;
+use mjoin_serve::{Engine, EngineRequest, EngineResponse, ServeConfig, Server};
+
+use crate::{
+    execute_report, optimize_outcome, parse_input, parse_space, CliError, GuardOptions, Input,
+};
+
+/// The real optimizer engine behind `mjoin serve`.
+pub struct MjoinEngine {
+    /// Worker threads each request's plan search may use.
+    pub threads: usize,
+}
+
+impl MjoinEngine {
+    fn parse(&self, req: &EngineRequest) -> Result<(Input, SearchSpace), MjoinError> {
+        let input = parse_input(&req.db).map_err(|e| MjoinError::InvalidScheme(e.0))?;
+        let space = match &req.space {
+            Some(s) => parse_space(s).map_err(|e| MjoinError::InvalidScheme(e.0))?,
+            None => SearchSpace::All,
+        };
+        Ok((input, space))
+    }
+
+    fn guard_options(&self, req: &EngineRequest) -> GuardOptions {
+        GuardOptions {
+            timeout_ms: req.timeout_ms,
+            max_memo_entries: req.max_memo_entries,
+            max_tuples: req.max_tuples,
+            threads: Some(self.threads),
+            ..GuardOptions::default()
+        }
+    }
+}
+
+impl Engine for MjoinEngine {
+    fn handle(&self, req: &EngineRequest) -> Result<EngineResponse, MjoinError> {
+        let (input, space) = self.parse(req)?;
+        let db = &input.database;
+        let gopts = self.guard_options(req);
+        match req.op.as_str() {
+            "optimize" => {
+                let o = optimize_outcome(db, space, &gopts)?;
+                let mut extra: Vec<(&'static str, Json)> = vec![(
+                    "cost",
+                    o.cost.map(Json::U64).unwrap_or(Json::Null),
+                )];
+                if let Some(r) = &o.robust {
+                    extra.push(("rung", Json::Str(r.report.answered_by.to_string())));
+                    extra.push(("optimal", Json::Bool(r.report.optimal)));
+                }
+                Ok(EngineResponse {
+                    output: o.text,
+                    extra,
+                })
+            }
+            "execute" => {
+                let config = mjoin_adaptive::AdaptiveConfig {
+                    space,
+                    budget: gopts.budget(),
+                    threads: self.threads,
+                    ..mjoin_adaptive::AdaptiveConfig::default()
+                };
+                let (text, outcome) =
+                    execute_report(db, &mjoin_adaptive::Estimation::Synthetic, &config)?;
+                Ok(EngineResponse {
+                    output: text,
+                    extra: vec![("result_tuples", Json::U64(outcome.result.tau()))],
+                })
+            }
+            other => Err(MjoinError::InvalidScheme(format!(
+                "unsupported engine op {other:?}"
+            ))),
+        }
+    }
+
+    /// Canonical scheme+oracle fingerprint: the parsed schemes and
+    /// relation states (canonical row order), the search space, and every
+    /// budget knob — everything that can change an `optimize` answer.
+    /// `execute` requests are never cached (they return data, and the
+    /// trace's est-vs-actual lines depend on live execution).
+    fn fingerprint(&self, req: &EngineRequest) -> Option<String> {
+        if req.op != "optimize" {
+            return None;
+        }
+        let input = parse_input(&req.db).ok()?;
+        let db = &input.database;
+        let mut canon = String::new();
+        let _ = write!(
+            canon,
+            "v1|optimize|space={:?}|t={:?}|m={:?}|tu={:?}|threads={}",
+            req.space, req.timeout_ms, req.max_memo_entries, req.max_tuples, self.threads
+        );
+        for i in 0..db.len() {
+            let _ = write!(canon, "|rel {};", db.catalog().render(db.scheme().scheme(i)));
+            canon.push_str(&db.state(i).to_text(db.catalog()));
+        }
+        Some(fingerprint128(&canon))
+    }
+}
+
+/// 128 bits of FNV-1a (two independent offset bases) over the canonical
+/// form, so cache keys stay small no matter how large the database text
+/// is. Collisions are vanishingly unlikely and cost only a wrong cache
+/// hit on adversarial input; keys never leave the process.
+fn fingerprint128(s: &str) -> String {
+    fn fnv64(s: &str, mut h: u64) -> u64 {
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+    format!(
+        "{:016x}{:016x}",
+        fnv64(s, 0xcbf2_9ce4_8422_2325),
+        fnv64(s, 0x9e37_79b9_7f4a_7c15)
+    )
+}
+
+/// Implements `mjoin serve [FLAGS]`: parses the serve-specific flags,
+/// spawns the daemon, and blocks until a wire-level `{"op":"shutdown"}`
+/// drains it. Guard flags already parsed by the caller become the
+/// per-request defaults.
+pub(crate) fn serve_command(args: &[String], gopts: &GuardOptions) -> Result<String, CliError> {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7411".to_string(),
+        default_timeout_ms: gopts.timeout_ms,
+        default_max_memo_entries: gopts.max_memo_entries,
+        default_max_tuples: gopts.max_tuples,
+        ..ServeConfig::default()
+    };
+    let mut addr_file: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let value = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>| {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| CliError(format!("flag {flag} requires a value")))
+        };
+        let parse_u64 = |v: String| {
+            v.parse::<u64>()
+                .map_err(|_| CliError(format!("flag {flag}: bad number {v:?}")))
+        };
+        match flag {
+            "--addr" => config.addr = value(&mut it)?,
+            "--workers" => config.workers = parse_u64(value(&mut it)?)?.max(1) as usize,
+            "--queue-cap" => config.queue_cap = parse_u64(value(&mut it)?)? as usize,
+            "--max-request-bytes" => {
+                config.max_request_bytes = parse_u64(value(&mut it)?)? as usize;
+            }
+            "--read-timeout-ms" => config.read_timeout_ms = parse_u64(value(&mut it)?)?,
+            "--max-timeout-ms" => config.max_timeout_ms = parse_u64(value(&mut it)?)?,
+            "--cache-cap" => config.cache_cap = parse_u64(value(&mut it)?)? as usize,
+            "--shed-retry-ms" => config.shed_retry_ms = parse_u64(value(&mut it)?)?,
+            "--addr-file" => addr_file = Some(value(&mut it)?),
+            other => return Err(CliError(format!("serve: unknown flag {other:?}"))),
+        }
+    }
+    let engine = MjoinEngine {
+        threads: gopts.threads(),
+    };
+    let server = Server::spawn(config, Box::new(engine))
+        .map_err(|e| CliError(format!("serve: bind failed: {e}")))?;
+    let addr = server.addr();
+    eprintln!(
+        "mjoin serve: listening on {addr} (newline-delimited JSON; send {{\"op\":\"shutdown\"}} to stop)"
+    );
+    if let Some(path) = &addr_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CliError(format!("serve: --addr-file {path}: {e}")))?;
+    }
+    let stats = server.join();
+    Ok(format!(
+        "serve: drained after {} requests ({} shed, {} cache hits, {} cache evictions)\n",
+        stats.requests, stats.shed, stats.cache_hits, stats.cache_evictions
+    ))
+}

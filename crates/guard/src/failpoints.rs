@@ -32,6 +32,32 @@ pub const SITES: &[&str] = &[
     "adaptive::stage",
     "adaptive::replan",
     "obs::report",
+    "serve::accept",
+    "serve::decode",
+    "serve::enqueue",
+    "serve::respond",
+];
+
+/// One-line operator-facing description per registered site, in [`SITES`]
+/// order. The `failpoints` CLI command renders this table; a guard test
+/// keeps it in lockstep with [`SITES`].
+pub const SITE_DOCS: &[(&str, &str)] = &[
+    ("cost::materialize", "exact oracle: subset materialization"),
+    ("relation::join", "join kernels: guarded natural join"),
+    ("optimizer::dp", "bushy / DPccp dynamic programs"),
+    ("optimizer::greedy", "greedy bushy optimizer"),
+    ("optimizer::ikkbz", "IK/KBZ linear-order optimizer"),
+    ("optimizer::exhaustive", "exhaustive strategy enumeration"),
+    ("semijoin::reduce", "semijoin full-reducer passes"),
+    ("core::ladder", "degradation-ladder rung dispatch"),
+    ("adaptive::materialize", "adaptive executor: stage input materialization"),
+    ("adaptive::stage", "adaptive executor: pipeline stage"),
+    ("adaptive::replan", "adaptive executor: mid-query re-optimization"),
+    ("obs::report", "observability: JSON report rendering"),
+    ("serve::accept", "serve daemon: connection accept path"),
+    ("serve::decode", "serve daemon: request line decode"),
+    ("serve::enqueue", "serve daemon: admission-queue submit"),
+    ("serve::respond", "serve daemon: response write path"),
 ];
 
 static ANY_ARMED: AtomicBool = AtomicBool::new(false);
@@ -159,7 +185,17 @@ mod tests {
     #[test]
     fn registry_lists_known_sites() {
         assert!(is_known("optimizer::dp"));
+        assert!(is_known("serve::decode"));
         assert!(!is_known("bogus::site"));
         assert!(SITES.len() >= 8);
+    }
+
+    #[test]
+    fn site_docs_mirror_the_registry_exactly() {
+        assert_eq!(SITE_DOCS.len(), SITES.len());
+        for (&site, &(doc_site, doc)) in SITES.iter().zip(SITE_DOCS) {
+            assert_eq!(site, doc_site, "SITE_DOCS out of order with SITES");
+            assert!(!doc.is_empty(), "{site}: empty description");
+        }
     }
 }

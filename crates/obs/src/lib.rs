@@ -97,11 +97,19 @@ pub enum Counter {
     AdaptiveStagesExecuted,
     /// Mid-query re-optimizations the adaptive executor triggered.
     AdaptiveReplans,
+    /// Requests the serve daemon received (any op, including malformed).
+    ServeRequests,
+    /// Requests the serve daemon shed (admission queue full or draining).
+    ServeShed,
+    /// Serve-daemon plan-cache hits.
+    ServeCacheHits,
+    /// Serve-daemon plan-cache entries evicted to stay under the cap.
+    ServeCacheEvictions,
 }
 
 /// All counters, in registry order. `Counter::ALL.len()` sizes the array.
 impl Counter {
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 24] = [
         Counter::OracleMemoHits,
         Counter::OracleSubsetsMaterialized,
         Counter::OracleSharedHits,
@@ -122,6 +130,10 @@ impl Counter {
         Counter::LadderRungsAttempted,
         Counter::AdaptiveStagesExecuted,
         Counter::AdaptiveReplans,
+        Counter::ServeRequests,
+        Counter::ServeShed,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheEvictions,
     ];
 
     /// Stable dotted name used as the JSON key and table row label.
@@ -149,6 +161,10 @@ impl Counter {
             Counter::LadderRungsAttempted => "ladder.rungs_attempted",
             Counter::AdaptiveStagesExecuted => "adaptive.stages_executed",
             Counter::AdaptiveReplans => "adaptive.replans",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeShed => "serve.shed",
+            Counter::ServeCacheHits => "serve.cache_hits",
+            Counter::ServeCacheEvictions => "serve.cache_evictions",
         }
     }
 }
@@ -169,15 +185,18 @@ pub enum Span {
     AdaptiveStage,
     /// One mid-query re-optimization.
     AdaptiveReplan,
+    /// One serve-daemon request, decode through response write.
+    ServeRequest,
 }
 
 impl Span {
-    pub const ALL: [Span; 5] = [
+    pub const ALL: [Span; 6] = [
         Span::Optimize,
         Span::Execute,
         Span::LadderRung,
         Span::AdaptiveStage,
         Span::AdaptiveReplan,
+        Span::ServeRequest,
     ];
 
     /// Stable dotted name used as the JSON key and table row label.
@@ -188,6 +207,7 @@ impl Span {
             Span::LadderRung => "ladder.rung",
             Span::AdaptiveStage => "adaptive.stage",
             Span::AdaptiveReplan => "adaptive.replan",
+            Span::ServeRequest => "serve.request",
         }
     }
 }

@@ -1,0 +1,658 @@
+//! Hardened TCP serving layer for the mjoin optimizer.
+//!
+//! A [`Server`] accepts newline-delimited JSON requests (see [`protocol`])
+//! over `std::net` — no external dependencies — and runs them on a fixed
+//! worker pool behind a bounded admission queue ([`queue`]). The contract
+//! is the robustness headline of the whole stack: **every request gets
+//! exactly one well-formed response line — a plan or a typed error —
+//! never a panic, never a hang.**
+//!
+//! * **Load shedding** — a full queue answers `overloaded` immediately
+//!   (with a `retry_after_ms` hint) instead of queueing unboundedly.
+//! * **Deadline propagation** — a request's `timeout_ms` flows into the
+//!   engine's `Budget`, and time spent waiting in the admission queue is
+//!   subtracted first, so a request doomed by queue wait fails fast with
+//!   `budget_exceeded` instead of burning a worker.
+//! * **Slow-loris defense** — per-connection read timeouts and a
+//!   max-request-size cap bound what one client can pin.
+//! * **Graceful drain** — on shutdown, in-flight requests finish under
+//!   their remaining budget; queued ones are shed with `shutting_down`.
+//! * **Bounded memory** — a capped, sharded, LRU-evicting plan cache
+//!   ([`cache`]) keyed on the engine's canonical request fingerprint.
+//!
+//! The optimizer itself is injected via the [`Engine`] trait (the CLI
+//! crate provides the real one, reusing its exact rendering so a served
+//! plan is byte-identical to the CLI's); stub engines keep this crate's
+//! tests fast and deterministic.
+//!
+//! Failure injection: the `serve::accept`, `serve::decode`,
+//! `serve::enqueue` and `serve::respond` failpoints cover the daemon's
+//! four I/O choke points. Observability: `serve.requests`, `serve.shed`,
+//! `serve.cache_hits`, `serve.cache_evictions` counters plus the
+//! `serve.request` latency span, all disarmed-free as usual.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod protocol;
+pub mod queue;
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mjoin_guard::{failpoints, MjoinError};
+use mjoin_obs::{Counter, Json, Span};
+
+use cache::PlanCache;
+use protocol::{decode_line, error_line, kind_of, ok_control_line, ok_line, Request};
+use queue::{Admission, Job, SubmitError};
+
+/// Extra slack a connection thread waits for its worker beyond the
+/// request deadline before declaring the worker wedged. Generous: the
+/// engine's own guard enforces the deadline, this is a last-ditch bound
+/// so a connection can never hang forever.
+const WORKER_GRACE_MS: u64 = 10_000;
+
+/// What the serving layer hands the engine for one admitted request.
+///
+/// `timeout_ms` is the **remaining** wall-clock budget at execution time
+/// (the requested deadline minus admission-queue wait); the engine must
+/// thread it into its `Budget`/`Guard` machinery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineRequest {
+    /// `optimize` or `execute`.
+    pub op: String,
+    /// Database file text, in the CLI's input format.
+    pub db: String,
+    /// Search-space name (`all`, `linear`, `nocp`, `linear-nocp`, `avoid`).
+    pub space: Option<String>,
+    /// Remaining wall-clock budget in milliseconds (`None` = unlimited).
+    pub timeout_ms: Option<u64>,
+    /// Memo-entry cap.
+    pub max_memo_entries: Option<u64>,
+    /// Intermediate-tuple cap.
+    pub max_tuples: Option<u64>,
+}
+
+/// A successful engine answer: the report text (byte-identical to the
+/// CLI's for the same invocation) plus structured extras merged into the
+/// response object (`cost`, `rung`, …).
+#[derive(Clone, Debug)]
+pub struct EngineResponse {
+    /// The rendered report, exactly as the CLI would print it.
+    pub output: String,
+    /// Structured fields appended to the response JSON.
+    pub extra: Vec<(&'static str, Json)>,
+}
+
+/// The pluggable optimizer behind the daemon.
+///
+/// Implementations must be panic-free by intent — but the server wraps
+/// every call in `catch_unwind` anyway, converting an escaped panic into
+/// a typed `internal` error, so one poisoned request can never take a
+/// worker down.
+pub trait Engine: Send + Sync + 'static {
+    /// Runs one request to completion under its remaining budget.
+    fn handle(&self, req: &EngineRequest) -> Result<EngineResponse, MjoinError>;
+
+    /// A canonical cache key for this request, or `None` to bypass the
+    /// plan cache. Keys must cover everything that affects the response
+    /// (scheme, states, search space, budget caps), so equal keys really
+    /// do mean an interchangeable answer.
+    fn fingerprint(&self, _req: &EngineRequest) -> Option<String> {
+        None
+    }
+}
+
+/// Serving knobs. `Default` suits tests: loopback, an OS-assigned port,
+/// two workers, and small-but-sane caps.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 lets the OS pick).
+    pub addr: String,
+    /// Worker threads draining the admission queue (min 1).
+    pub workers: usize,
+    /// Admission-queue capacity; submissions beyond it are shed.
+    pub queue_cap: usize,
+    /// Per-request byte cap; longer lines are refused with `too_large`.
+    pub max_request_bytes: usize,
+    /// Per-connection read timeout (slow-loris defense).
+    pub read_timeout_ms: u64,
+    /// Deadline applied when a request carries no `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+    /// Hard ceiling on any per-request deadline.
+    pub max_timeout_ms: u64,
+    /// Memo-entry cap applied when a request carries none.
+    pub default_max_memo_entries: Option<u64>,
+    /// Intermediate-tuple cap applied when a request carries none.
+    pub default_max_tuples: Option<u64>,
+    /// Plan-cache entry cap (0 disables the cache).
+    pub cache_cap: usize,
+    /// `retry_after_ms` hint attached to shed responses.
+    pub shed_retry_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 64,
+            max_request_bytes: 1 << 20,
+            read_timeout_ms: 10_000,
+            default_timeout_ms: None,
+            max_timeout_ms: 600_000,
+            default_max_memo_entries: None,
+            default_max_tuples: None,
+            cache_cap: 256,
+            shed_retry_ms: 50,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicU64,
+    shed: AtomicU64,
+    handled: AtomicU64,
+    decode_errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_evictions: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Request lines received (any op, including malformed ones).
+    pub requests: u64,
+    /// Requests shed (queue full or draining).
+    pub shed: u64,
+    /// Jobs a worker ran to completion (ok or typed error).
+    pub handled: u64,
+    /// Request lines that failed to decode.
+    pub decode_errors: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache evictions.
+    pub cache_evictions: u64,
+    /// Entries in the plan cache right now.
+    pub cache_len: u64,
+}
+
+struct Shared {
+    config: ServeConfig,
+    engine: Box<dyn Engine>,
+    queue: Admission,
+    cache: PlanCache,
+    stats: Stats,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            handled: self.stats.handled.load(Ordering::Relaxed),
+            decode_errors: self.stats.decode_errors.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            cache_evictions: self.stats.cache_evictions.load(Ordering::Relaxed),
+            cache_len: self.cache.len() as u64,
+        }
+    }
+}
+
+/// A running daemon. Stop it with [`Server::shutdown`] (or a wire-level
+/// `{"op":"shutdown"}` request), then reap the threads with
+/// [`Server::join`] — which blocks until drain completes.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and returns
+    /// immediately. The listen address (with the OS-resolved port) is
+    /// available via [`Server::addr`].
+    pub fn spawn(config: ServeConfig, engine: Box<dyn Engine>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Admission::new(config.queue_cap),
+            cache: PlanCache::new(config.cache_cap),
+            stats: Stats::default(),
+            shutting_down: AtomicBool::new(false),
+            addr,
+            engine,
+            config,
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mjoin-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        let acceptor = {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mjoin-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &sh))
+                .expect("spawn serve acceptor")
+        };
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates graceful drain: stops accepting, sheds everything still
+    /// queued with `shutting_down`, and lets in-flight requests finish
+    /// under their remaining budget. Idempotent.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// The server's counters right now.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Joins the acceptor and worker pool (blocks until
+    /// [`Server::shutdown`] — local or wire-level — has been called and
+    /// the drain completed), returning the final counters.
+    pub fn join(mut self) -> StatsSnapshot {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.snapshot()
+    }
+}
+
+fn initiate_shutdown(shared: &Arc<Shared>) {
+    if shared.shutting_down.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    // Shed everything still queued; workers finish their in-flight job
+    // (under its remaining budget) and then exit on the drained queue.
+    for job in shared.queue.begin_shutdown() {
+        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        mjoin_obs::incr(Counter::ServeShed, 1);
+        let _ = job.respond.send(error_line(
+            job.id.as_ref(),
+            "shutting_down",
+            "server is draining; queued request shed",
+            Some(shared.config.shed_retry_ms),
+        ));
+    }
+    // A throwaway connection unblocks the acceptor so it can observe the
+    // flag and exit (std's blocking accept has no other wakeup).
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        if let Err(e) = failpoints::hit("serve::accept") {
+            // Even a connection refused by fault injection gets one
+            // well-formed response line before the close.
+            let line = error_line(None, "internal", &e.to_string(), None);
+            let _ = stream.write_all(line.as_bytes());
+            continue;
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(
+            shared.config.read_timeout_ms.max(1),
+        )));
+        // Request/response over small messages: Nagle + delayed ACK would
+        // add ~40 ms to every exchange otherwise.
+        let _ = stream.set_nodelay(true);
+        let sh = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("mjoin-serve-conn".to_string())
+            .spawn(move || connection_loop(&sh, stream));
+    }
+}
+
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let max = shared.config.max_request_bytes.max(64);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes[..pos]).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            match handle_line(shared, &line, &mut stream) {
+                Flow::Continue => {}
+                Flow::Close => return,
+            }
+        }
+        if pending.len() > max {
+            write_response(
+                &mut stream,
+                error_line(
+                    None,
+                    "too_large",
+                    &format!("request exceeds the {max}-byte cap"),
+                    None,
+                ),
+            );
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !pending.is_empty() {
+                    // A half-sent request stalled past the read timeout:
+                    // answer (typed) and drop the slow client.
+                    write_response(
+                        &mut stream,
+                        error_line(
+                            None,
+                            "invalid_request",
+                            "read timed out mid-request (slow client)",
+                            None,
+                        ),
+                    );
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Every response funnels through here: the `serve::respond` failpoint
+/// guards the write path, and an injected fault downgrades the response
+/// to a typed error built *without* re-entering the failpoint — so the
+/// client still receives exactly one well-formed line.
+fn write_response(stream: &mut TcpStream, line: String) {
+    let line = match failpoints::hit("serve::respond") {
+        Ok(()) => line,
+        Err(e) => error_line(None, "internal", &e.to_string(), None),
+    };
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.flush();
+}
+
+fn handle_line(shared: &Arc<Shared>, line: &str, stream: &mut TcpStream) -> Flow {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    mjoin_obs::incr(Counter::ServeRequests, 1);
+    let _span = mjoin_obs::span(Span::ServeRequest);
+    if line.len() > shared.config.max_request_bytes {
+        write_response(
+            stream,
+            error_line(
+                None,
+                "too_large",
+                &format!(
+                    "request of {} bytes exceeds the {}-byte cap",
+                    line.len(),
+                    shared.config.max_request_bytes
+                ),
+                None,
+            ),
+        );
+        return Flow::Close;
+    }
+    let req = match decode_line(line) {
+        Ok(req) => req,
+        Err(e) => {
+            shared.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+            let kind = match &e {
+                MjoinError::Internal(_) => "internal",
+                _ => "invalid_request",
+            };
+            write_response(stream, error_line(None, kind, &e.to_string(), None));
+            return Flow::Continue;
+        }
+    };
+    match req.op.as_str() {
+        "ping" => {
+            write_response(stream, ok_control_line(req.id.as_ref(), "ping", Vec::new()));
+            Flow::Continue
+        }
+        "stats" => {
+            let stats = stats_json(shared);
+            write_response(
+                stream,
+                ok_control_line(req.id.as_ref(), "stats", vec![("stats", stats)]),
+            );
+            Flow::Continue
+        }
+        "shutdown" => {
+            write_response(stream, ok_control_line(req.id.as_ref(), "shutdown", Vec::new()));
+            initiate_shutdown(shared);
+            Flow::Close
+        }
+        "optimize" | "execute" => {
+            submit_and_wait(shared, req, stream);
+            Flow::Continue
+        }
+        other => {
+            write_response(
+                stream,
+                error_line(
+                    req.id.as_ref(),
+                    "invalid_request",
+                    &format!(
+                        "unknown op {other:?} (expected optimize | execute | ping | stats | shutdown)"
+                    ),
+                    None,
+                ),
+            );
+            Flow::Continue
+        }
+    }
+}
+
+fn shed(shared: &Arc<Shared>, stream: &mut TcpStream, id: Option<&Json>, kind: &str, msg: &str) {
+    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    mjoin_obs::incr(Counter::ServeShed, 1);
+    write_response(
+        stream,
+        error_line(id, kind, msg, Some(shared.config.shed_retry_ms)),
+    );
+}
+
+fn submit_and_wait(shared: &Arc<Shared>, req: Request, stream: &mut TcpStream) {
+    let cfg = &shared.config;
+    let timeout_ms = req
+        .timeout_ms
+        .or(cfg.default_timeout_ms)
+        .map(|t| t.min(cfg.max_timeout_ms));
+    let engine_req = EngineRequest {
+        op: req.op.clone(),
+        db: req.db,
+        space: req.space,
+        timeout_ms,
+        max_memo_entries: req.max_memo_entries.or(cfg.default_max_memo_entries),
+        max_tuples: req.max_tuples.or(cfg.default_max_tuples),
+    };
+    if let Err(e) = failpoints::hit("serve::enqueue") {
+        write_response(stream, error_line(req.id.as_ref(), "internal", &e.to_string(), None));
+        return;
+    }
+    // Cross-request plan cache: hits answer from the connection thread
+    // and never consume a queue slot or a worker.
+    let key = if cfg.cache_cap > 0 {
+        shared.engine.fingerprint(&engine_req)
+    } else {
+        None
+    };
+    if let Some(k) = &key {
+        if let Some(resp) = shared.cache.get(k) {
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            mjoin_obs::incr(Counter::ServeCacheHits, 1);
+            write_response(stream, ok_line(req.id.as_ref(), &engine_req.op, &resp, true));
+            return;
+        }
+    }
+    let (tx, rx) = mpsc::channel::<String>();
+    let job = Job {
+        id: req.id,
+        request: engine_req,
+        key,
+        enqueued: Instant::now(),
+        respond: tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err((job, SubmitError::Full)) => {
+            shed(
+                shared,
+                stream,
+                job.id.as_ref(),
+                "overloaded",
+                &format!(
+                    "admission queue full ({} pending); retry after {} ms",
+                    shared.config.queue_cap, shared.config.shed_retry_ms
+                ),
+            );
+            return;
+        }
+        Err((job, SubmitError::ShuttingDown)) => {
+            shed(
+                shared,
+                stream,
+                job.id.as_ref(),
+                "shutting_down",
+                "server is draining; request shed",
+            );
+            return;
+        }
+    }
+    // Bound the wait so a wedged worker can never hang the connection:
+    // the engine's guard enforces the deadline, this is the backstop.
+    let line = match timeout_ms {
+        Some(t) => rx
+            .recv_timeout(Duration::from_millis(t.saturating_add(WORKER_GRACE_MS)))
+            .unwrap_or_else(|_| {
+                error_line(
+                    None,
+                    "internal",
+                    "worker did not respond within the deadline grace window",
+                    None,
+                )
+            }),
+        None => rx.recv().unwrap_or_else(|_| {
+            error_line(None, "internal", "worker dropped the request", None)
+        }),
+    };
+    write_response(stream, line);
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(mut job) = shared.queue.pop() {
+        let line = run_job(shared, &mut job);
+        shared.stats.handled.fetch_add(1, Ordering::Relaxed);
+        let _ = job.respond.send(line);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, job: &mut Job) -> String {
+    // Deadline propagation: admission-queue wait burns the caller's
+    // budget before the engine ever runs.
+    let requested = job.request.timeout_ms;
+    if let Some(total) = requested {
+        let waited = u64::try_from(job.enqueued.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let remaining = total.saturating_sub(waited);
+        if remaining == 0 {
+            return error_line(
+                job.id.as_ref(),
+                "budget_exceeded",
+                &format!("deadline of {total} ms expired after {waited} ms in the admission queue"),
+                None,
+            );
+        }
+        job.request.timeout_ms = Some(remaining);
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| shared.engine.handle(&job.request)));
+    match result {
+        Ok(Ok(resp)) => {
+            // Cache only answers produced under the full requested budget:
+            // a queue-delayed run may have degraded further than an
+            // unloaded one would, and must not be replayed as canonical.
+            if job.request.timeout_ms == requested {
+                if let Some(key) = job.key.take() {
+                    let evicted = shared.cache.insert(key, resp.clone());
+                    if evicted > 0 {
+                        shared.stats.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+                        mjoin_obs::incr(Counter::ServeCacheEvictions, evicted);
+                    }
+                }
+            }
+            ok_line(job.id.as_ref(), &job.request.op, &resp, false)
+        }
+        Ok(Err(e)) => error_line(job.id.as_ref(), kind_of(&e), &e.to_string(), None),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            error_line(
+                job.id.as_ref(),
+                "internal",
+                &format!("optimizer panicked: {msg}"),
+                None,
+            )
+        }
+    }
+}
+
+fn stats_json(shared: &Arc<Shared>) -> Json {
+    let s = shared.snapshot();
+    Json::obj(vec![
+        ("requests", Json::U64(s.requests)),
+        ("shed", Json::U64(s.shed)),
+        ("handled", Json::U64(s.handled)),
+        ("decode_errors", Json::U64(s.decode_errors)),
+        ("cache_hits", Json::U64(s.cache_hits)),
+        ("cache_evictions", Json::U64(s.cache_evictions)),
+        ("cache_len", Json::U64(s.cache_len)),
+        ("cache_cap", Json::U64(shared.config.cache_cap as u64)),
+        ("queue_depth", Json::U64(shared.queue.depth() as u64)),
+        ("queue_cap", Json::U64(shared.queue.cap() as u64)),
+        ("workers", Json::U64(shared.config.workers.max(1) as u64)),
+        (
+            "draining",
+            Json::Bool(shared.shutting_down.load(Ordering::Acquire)),
+        ),
+    ])
+}

@@ -1,0 +1,231 @@
+//! The serve wire protocol: newline-delimited JSON, one document per
+//! request and exactly one document per response.
+//!
+//! A request is a JSON object on a single line:
+//!
+//! ```text
+//! {"id": 1, "op": "optimize", "db": "relation AB\n1 10\nrelation BC\n10 5\n",
+//!  "space": "all", "timeout_ms": 250}
+//! ```
+//!
+//! `op` is one of `optimize`, `execute`, `ping`, `stats`, `shutdown`.
+//! `db` (the database file text, required for `optimize`/`execute`),
+//! `space`, `timeout_ms`, `max_memo_entries` and `max_tuples` mirror the
+//! CLI's positional arguments and guard flags. `id` is echoed verbatim in
+//! the response so clients can pipeline.
+//!
+//! Every response is one compact JSON line: either
+//! `{"id":…,"ok":true,…}` with op-specific fields, or
+//! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}` where `kind` is a
+//! closed vocabulary (`invalid_request`, `too_large`, `overloaded`,
+//! `shutting_down`, `budget_exceeded`, `cancelled`, `internal`). Shed
+//! responses add a `retry_after_ms` hint.
+
+use mjoin_guard::{failpoints, MjoinError};
+use mjoin_obs::{json, Json};
+
+use crate::EngineResponse;
+
+/// A decoded request line.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen correlation value, echoed in the response.
+    pub id: Option<Json>,
+    /// The operation: `optimize`, `execute`, `ping`, `stats`, `shutdown`.
+    pub op: String,
+    /// Database file text (the CLI's input format).
+    pub db: String,
+    /// Search-space name, as the CLI accepts it (`all`, `nocp`, …).
+    pub space: Option<String>,
+    /// Per-request wall-clock deadline in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Per-request memo-entry cap.
+    pub max_memo_entries: Option<u64>,
+    /// Per-request intermediate-tuple cap.
+    pub max_tuples: Option<u64>,
+}
+
+fn invalid(msg: impl Into<String>) -> MjoinError {
+    MjoinError::InvalidScheme(msg.into())
+}
+
+fn opt_u64(doc: &Json, field: &str) -> Result<Option<u64>, MjoinError> {
+    match doc.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| invalid(format!("field {field:?} must be a non-negative integer"))),
+    }
+}
+
+fn opt_str(doc: &Json, field: &str) -> Result<Option<String>, MjoinError> {
+    match doc.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| invalid(format!("field {field:?} must be a string"))),
+    }
+}
+
+/// Decodes one request line. Guarded by the `serve::decode` failpoint;
+/// malformed input surfaces as [`MjoinError::InvalidScheme`], never a
+/// panic.
+pub fn decode_line(line: &str) -> Result<Request, MjoinError> {
+    failpoints::hit("serve::decode")?;
+    let doc = json::parse(line).map_err(|e| invalid(format!("malformed request JSON: {e}")))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(invalid("request must be a JSON object"));
+    }
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| invalid("request needs a string \"op\" field"))?
+        .to_string();
+    let db = match opt_str(&doc, "db")? {
+        Some(s) => s,
+        None if matches!(op.as_str(), "optimize" | "execute") => {
+            return Err(invalid(format!("op {op:?} needs a string \"db\" field")));
+        }
+        None => String::new(),
+    };
+    Ok(Request {
+        id: doc.get("id").cloned(),
+        op,
+        db,
+        space: opt_str(&doc, "space")?,
+        timeout_ms: opt_u64(&doc, "timeout_ms")?,
+        max_memo_entries: opt_u64(&doc, "max_memo_entries")?,
+        max_tuples: opt_u64(&doc, "max_tuples")?,
+    })
+}
+
+fn id_json(id: Option<&Json>) -> Json {
+    id.cloned().unwrap_or(Json::Null)
+}
+
+fn finish(doc: Json) -> String {
+    let mut s = doc.to_compact_string();
+    s.push('\n');
+    s
+}
+
+/// Renders an error response line.
+pub fn error_line(
+    id: Option<&Json>,
+    kind: &str,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let mut err = vec![
+        ("kind", Json::Str(kind.to_string())),
+        ("message", Json::Str(message.to_string())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        err.push(("retry_after_ms", Json::U64(ms)));
+    }
+    finish(Json::obj(vec![
+        ("id", id_json(id)),
+        ("ok", Json::Bool(false)),
+        ("error", Json::obj(err)),
+    ]))
+}
+
+/// Renders a successful engine response line.
+pub fn ok_line(id: Option<&Json>, op: &str, resp: &EngineResponse, cached: bool) -> String {
+    let mut fields = vec![
+        ("id", id_json(id)),
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str(op.to_string())),
+        ("cached", Json::Bool(cached)),
+        ("output", Json::Str(resp.output.clone())),
+    ];
+    for (k, v) in &resp.extra {
+        fields.push((k, v.clone()));
+    }
+    finish(Json::obj(fields))
+}
+
+/// Renders a successful control-op response line (`ping`, `shutdown`),
+/// optionally with extra fields (`stats`).
+pub fn ok_control_line(id: Option<&Json>, op: &str, extra: Vec<(&str, Json)>) -> String {
+    let mut fields = vec![
+        ("id", id_json(id)),
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str(op.to_string())),
+    ];
+    fields.extend(extra);
+    finish(Json::obj(fields))
+}
+
+/// Maps a typed engine error onto the wire error vocabulary.
+pub fn kind_of(e: &MjoinError) -> &'static str {
+    match e {
+        MjoinError::BudgetExceeded { .. } => "budget_exceeded",
+        MjoinError::Cancelled => "cancelled",
+        MjoinError::InvalidScheme(_) => "invalid_request",
+        MjoinError::Internal(_) => "internal",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_a_full_request() {
+        let r = decode_line(
+            r#"{"id": 7, "op": "optimize", "db": "relation AB\n", "space": "nocp", "timeout_ms": 250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.op, "optimize");
+        assert_eq!(r.db, "relation AB\n");
+        assert_eq!(r.space.as_deref(), Some("nocp"));
+        assert_eq!(r.timeout_ms, Some(250));
+        assert_eq!(r.id, Some(Json::U64(7)));
+    }
+
+    #[test]
+    fn control_ops_need_no_db() {
+        assert!(decode_line(r#"{"op": "ping"}"#).is_ok());
+        assert!(decode_line(r#"{"op": "stats"}"#).is_ok());
+        let e = decode_line(r#"{"op": "optimize"}"#).unwrap_err();
+        assert!(e.to_string().contains("db"), "{e}");
+    }
+
+    #[test]
+    fn rejects_malformed_and_mistyped_input() {
+        assert!(decode_line("not json").is_err());
+        assert!(decode_line("[1,2]").is_err());
+        assert!(decode_line(r#"{"db": "x"}"#).is_err());
+        assert!(decode_line(r#"{"op": "optimize", "db": 3}"#).is_err());
+        assert!(decode_line(r#"{"op": "ping", "timeout_ms": "soon"}"#).is_err());
+    }
+
+    #[test]
+    fn responses_are_single_parseable_lines() {
+        let err = error_line(Some(&Json::U64(1)), "overloaded", "queue full", Some(50));
+        assert!(err.ends_with('\n'));
+        assert_eq!(err.matches('\n').count(), 1);
+        let doc = json::parse(err.trim()).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        let e = doc.get("error").unwrap();
+        assert_eq!(e.get("kind").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(e.get("retry_after_ms").and_then(Json::as_u64), Some(50));
+
+        let ok = ok_line(
+            None,
+            "optimize",
+            &EngineResponse {
+                output: "plan: x\n".to_string(),
+                extra: vec![("cost", Json::U64(11))],
+            },
+            true,
+        );
+        let doc = json::parse(ok.trim()).unwrap();
+        assert_eq!(doc.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("output").and_then(Json::as_str), Some("plan: x\n"));
+        assert_eq!(doc.get("cost").and_then(Json::as_u64), Some(11));
+    }
+}

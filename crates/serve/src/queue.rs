@@ -1,0 +1,205 @@
+//! Bounded admission queue with load shedding.
+//!
+//! Connection threads submit work with [`Admission::try_push`], which
+//! never blocks: a full queue returns the job to the caller so it can
+//! answer `overloaded` immediately instead of letting latency pile up
+//! behind the workers. Workers block in [`Admission::pop`] until a job or
+//! shutdown arrives; [`Admission::begin_shutdown`] drains everything still
+//! queued (to be shed with `shutting_down`) and wakes every worker so
+//! in-flight requests finish and the pool exits.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use mjoin_obs::Json;
+
+use crate::EngineRequest;
+
+/// One admitted request, carried from the connection thread to a worker.
+#[derive(Debug)]
+pub struct Job {
+    /// The client's correlation id, echoed in the response.
+    pub id: Option<Json>,
+    /// The request, with `timeout_ms` still holding the *requested*
+    /// deadline; the worker subtracts queue wait before running it.
+    pub request: EngineRequest,
+    /// Plan-cache key, when the engine deemed the request cacheable.
+    pub key: Option<String>,
+    /// When the job entered the queue — queue wait burns the deadline.
+    pub enqueued: Instant,
+    /// Channel back to the waiting connection thread (a rendered
+    /// response line).
+    pub respond: mpsc::Sender<String>,
+}
+
+/// Why a submit was refused (the job is handed back alongside).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity: shed with `overloaded`.
+    Full,
+    /// The server is draining: shed with `shutting_down`.
+    ShuttingDown,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+/// The bounded queue shared by connection threads and the worker pool.
+pub struct Admission {
+    state: Mutex<State>,
+    ready: Condvar,
+    cap: usize,
+}
+
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Admission {
+    /// A queue admitting at most `cap` pending jobs (min 1).
+    pub fn new(cap: usize) -> Admission {
+        Admission {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Jobs currently waiting.
+    pub fn depth(&self) -> usize {
+        lock(&self.state).jobs.len()
+    }
+
+    /// Non-blocking submit: refuses instead of waiting when full or
+    /// draining, returning the job so the caller can shed it.
+    // The Err variant hands the whole Job back by design: a refused
+    // request must still be answered, and the connection thread needs the
+    // id/respond channel to do it. One refusal is never hot-path.
+    #[allow(clippy::result_large_err)]
+    pub fn try_push(&self, job: Job) -> Result<(), (Job, SubmitError)> {
+        let mut st = lock(&self.state);
+        if st.shutting_down {
+            return Err((job, SubmitError::ShuttingDown));
+        }
+        if st.jobs.len() >= self.cap {
+            return Err((job, SubmitError::Full));
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` once the queue is draining
+    /// and empty (the worker should exit).
+    pub fn pop(&self) -> Option<Job> {
+        let mut st = lock(&self.state);
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.shutting_down {
+                return None;
+            }
+            st = self
+                .ready
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Flips to draining, wakes every worker, and hands back everything
+    /// still queued so the caller can shed it with a typed response.
+    pub fn begin_shutdown(&self) -> Vec<Job> {
+        let mut st = lock(&self.state);
+        st.shutting_down = true;
+        let drained: Vec<Job> = st.jobs.drain(..).collect();
+        drop(st);
+        self.ready.notify_all();
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> (Job, mpsc::Receiver<String>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                id: None,
+                request: EngineRequest {
+                    op: "optimize".to_string(),
+                    db: String::new(),
+                    space: None,
+                    timeout_ms: None,
+                    max_memo_entries: None,
+                    max_tuples: None,
+                },
+                key: None,
+                enqueued: Instant::now(),
+                respond: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn sheds_when_full_and_returns_the_job() {
+        let q = Admission::new(2);
+        let (j1, _r1) = job();
+        let (j2, _r2) = job();
+        let (j3, _r3) = job();
+        assert!(q.try_push(j1).is_ok());
+        assert!(q.try_push(j2).is_ok());
+        let (_, e) = q.try_push(j3).unwrap_err();
+        assert_eq!(e, SubmitError::Full);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn shutdown_drains_and_unblocks_pop() {
+        let q = std::sync::Arc::new(Admission::new(4));
+        let (j, _r) = job();
+        q.try_push(j).unwrap();
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                // First pop gets the job, second blocks until shutdown.
+                assert!(q.pop().is_some());
+                assert!(q.pop().is_none());
+            })
+        };
+        // Give the waiter time to drain the queue and block.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let orphans = q.begin_shutdown();
+        assert!(orphans.is_empty());
+        waiter.join().unwrap();
+        let (j, _r) = job();
+        let (_, e) = q.try_push(j).unwrap_err();
+        assert_eq!(e, SubmitError::ShuttingDown);
+    }
+
+    #[test]
+    fn shutdown_hands_back_queued_jobs() {
+        let q = Admission::new(4);
+        let (j1, _r1) = job();
+        let (j2, _r2) = job();
+        q.try_push(j1).unwrap();
+        q.try_push(j2).unwrap();
+        assert_eq!(q.begin_shutdown().len(), 2);
+        assert_eq!(q.depth(), 0);
+    }
+}

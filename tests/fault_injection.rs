@@ -29,6 +29,57 @@ fn db() -> Database {
     data::paper_example4()
 }
 
+/// Minimal engine for driving the serve daemon's failpoints without the
+/// real optimizer: every request succeeds instantly, so any error the
+/// client sees is the injected one.
+struct EchoEngine;
+
+impl mjoin_serve::Engine for EchoEngine {
+    fn handle(
+        &self,
+        _req: &mjoin_serve::EngineRequest,
+    ) -> Result<mjoin_serve::EngineResponse, MjoinError> {
+        Ok(mjoin_serve::EngineResponse {
+            output: "ok\n".to_string(),
+            extra: Vec::new(),
+        })
+    }
+}
+
+/// Drives one request against a live in-process server and converts the
+/// typed error response back into the `MjoinError` it carries, so serve
+/// sites flow through the same exhaustive loop as everything else.
+fn provoke_serve(site: &str) -> MjoinError {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let server = mjoin_serve::Server::spawn(
+        mjoin_serve::ServeConfig::default(),
+        Box::new(EchoEngine),
+    )
+    .expect("spawn in-process serve daemon");
+    let stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    if site != "serve::accept" {
+        // With accept armed the server answers and closes before reading,
+        // so only the other sites need a request on the wire.
+        let mut w = stream.try_clone().expect("clone stream");
+        w.write_all(b"{\"op\":\"optimize\",\"db\":\"relation AB\\n1 10\\n\"}\n")
+            .expect("send request");
+    }
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("read response");
+    server.shutdown();
+    server.join();
+    let doc = mjoin_obs::json::parse(line.trim()).expect("well-formed response line");
+    let msg = doc
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(mjoin_obs::Json::as_str)
+        .unwrap_or_else(|| panic!("{site}: expected an error response, got {line}"))
+        .to_string();
+    MjoinError::Internal(msg)
+}
+
 /// Drives the one entry point that owns `site` and returns its error.
 fn provoke(site: &str) -> MjoinError {
     let db = db();
@@ -104,6 +155,9 @@ fn provoke(site: &str) -> MjoinError {
             let report = mjoin_obs::RunReport::new("test", 1, rec.snapshot());
             drop(rec);
             mjoin::render_run_report(&report).unwrap_err()
+        }
+        "serve::accept" | "serve::decode" | "serve::enqueue" | "serve::respond" => {
+            provoke_serve(site)
         }
         other => panic!("unmapped failpoint site {other}: extend this test"),
     }

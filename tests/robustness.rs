@@ -303,6 +303,97 @@ fn subsets(db: &Database) -> Vec<mjoin::RelSet> {
         .collect()
 }
 
+/// Deadline accounting under contention: several budgeted searches racing
+/// on the same machine must each come back close to their own deadline —
+/// the rung-slice arithmetic may not let queueing behind siblings inflate
+/// a 60 ms budget into seconds. The slack bound is deliberately loose for
+/// CI (the guard polls the clock every 64 oracle operations, so one poll
+/// interval of overshoot is legitimate), but it is far below the
+/// multi-second overshoot a slicing bug produces on this clique.
+#[test]
+fn concurrent_threaded_searches_respect_their_deadlines() {
+    let deadline = Duration::from_millis(60);
+    let slack = Duration::from_millis(2000);
+    let results: Vec<(Duration, mjoin::RobustPlan)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                s.spawn(move || {
+                    // Distinct sizes so the racing searches don't share a
+                    // lockstep work profile.
+                    let db = clique_db(10 + i % 4, 4);
+                    let budget = Budget::unlimited().with_deadline(deadline);
+                    let started = Instant::now();
+                    let r = mjoin::optimize_database_robust_threaded(
+                        &db,
+                        SearchSpace::All,
+                        budget,
+                        None,
+                        2,
+                    )
+                    .unwrap();
+                    (started.elapsed(), r)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (elapsed, r) in &results {
+        assert!(
+            *elapsed < deadline + slack,
+            "deadline {deadline:?} overshot to {elapsed:?} under contention: {}",
+            r.report
+        );
+        assert!(r.plan.strategy.set().len() >= 10);
+    }
+}
+
+/// One `CancelToken` observed by several concurrent ladder searches: every
+/// search reports the typed `Cancelled` error — no thread hangs, and no
+/// thread smuggles out a partial plan instead of the error.
+#[test]
+fn concurrent_searches_all_observe_one_cancellation() {
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        })
+    };
+    let results: Vec<(Duration, Result<mjoin::RobustPlan, MjoinError>)> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let token = token.clone();
+                    s.spawn(move || {
+                        // Long enough (12-relation clique DP) that every
+                        // thread is still searching at cancel time.
+                        let db = clique_db(12, 4);
+                        let started = Instant::now();
+                        let r = mjoin::optimize_database_robust_threaded(
+                            &db,
+                            SearchSpace::All,
+                            Budget::unlimited(),
+                            Some(&token),
+                            2,
+                        );
+                        (started.elapsed(), r)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+    canceller.join().unwrap();
+    for (elapsed, result) in results {
+        assert_eq!(
+            result.err(),
+            Some(MjoinError::Cancelled),
+            "every concurrent search must surface the typed cancellation"
+        );
+        assert!(elapsed < Duration::from_secs(60), "cancel must be prompt");
+    }
+}
+
 /// The façade's Result conversion keeps the analysis itself unchanged: an
 /// unlimited guard produces the same `Analysis` as the plain entry point.
 #[test]
