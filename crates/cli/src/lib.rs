@@ -209,6 +209,10 @@ pub struct GuardOptions {
     pub metrics: bool,
     /// Write the machine-readable run report here (`--metrics-json PATH`).
     pub metrics_json: Option<String>,
+    /// Persistent optimizer store path (`--store PATH`): `optimize`
+    /// warm-starts from a matching entry and saves cold results back;
+    /// `serve` warm-starts its plan cache and snapshots on drain.
+    pub store: Option<String>,
 }
 
 impl GuardOptions {
@@ -284,6 +288,7 @@ pub fn parse_guard_flags(args: &[String]) -> Result<(Vec<String>, GuardOptions),
             "--max-tuples" => opts.max_tuples = Some(parse_u64(value(&mut it)?)?),
             "--metrics" => opts.metrics = true,
             "--metrics-json" => opts.metrics_json = Some(value(&mut it)?),
+            "--store" => opts.store = Some(value(&mut it)?),
             "--fail-inject" => {
                 for site in value(&mut it)?.split(',').filter(|s| !s.is_empty()) {
                     if !failpoints::is_known(site) {
@@ -335,6 +340,9 @@ pub struct OptimizeOutcome {
     pub text: String,
     /// The plan's τ, when one was costed within budget.
     pub cost: Option<u64>,
+    /// The winning plan itself (absent when the space was empty), so the
+    /// persistent-store save path can serialize it without re-optimizing.
+    pub plan: Option<mjoin::Plan>,
     /// Budgeted mode only: the degradation ladder's full result.
     pub robust: Option<mjoin::RobustPlan>,
 }
@@ -353,6 +361,7 @@ pub fn optimize_outcome(
     let threads = gopts.threads();
     let mut out = String::new();
     let mut cost = None;
+    let mut plan_out = None;
     let mut robust = None;
     if gopts.is_limited() {
         // Budgeted mode: the degradation ladder always answers with
@@ -375,6 +384,7 @@ pub fn optimize_outcome(
         if r.plan.cost != u64::MAX {
             cost = Some(r.plan.cost);
         }
+        plan_out = Some(r.plan.clone());
         robust = Some(r);
     } else if threads > 1 {
         // Multi-core search over one shared memo: level-parallel DP
@@ -396,6 +406,7 @@ pub fn optimize_outcome(
                 let _ = writeln!(out, "search space: {space:?}");
                 let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut shared.handle()));
                 cost = Some(plan.cost);
+                plan_out = Some(plan);
             }
             None => {
                 let _ = writeln!(
@@ -411,6 +422,7 @@ pub fn optimize_outcome(
                 let _ = writeln!(out, "search space: {space:?}");
                 let _ = writeln!(out, "{}", plan.explain(db.catalog(), &mut oracle));
                 cost = Some(plan.cost);
+                plan_out = Some(plan);
             }
             None => {
                 let _ = writeln!(
@@ -423,6 +435,7 @@ pub fn optimize_outcome(
     Ok(OptimizeOutcome {
         text: out,
         cost,
+        plan: plan_out,
         robust,
     })
 }
@@ -474,6 +487,7 @@ where
                  reduce     DB             semijoin-reduce the database (full reducer / fixpoint)\n\
                  show       DB             print every relation state and the join result\n\
                  serve      [FLAGS]        TCP daemon: newline-delimited JSON optimize/execute requests\n\
+                 store inspect PATH        dump a persistent store's header and per-entry sections\n\
                  failpoints                list every registered fault-injection site\n\
                  \n\
                  serve mode (serve):\n\
@@ -486,6 +500,10 @@ where
                  --cache-cap N             plan-cache entry cap, 0 disables (default 256)\n\
                  --shed-retry-ms N         retry-after hint on shed responses (default 50)\n\
                  --addr-file PATH          write the bound address here once listening\n\
+                 \n\
+                 persistent store (optimize, serve):\n\
+                 --store PATH              optimize: warm-start from a matching entry, save cold runs;\n\
+                 \u{20}                         serve: warm-start the plan cache, snapshot on drain\n\
                  \n\
                  adaptive execution (execute):\n\
                  --adaptive                re-optimize mid-query when a stage's q-error drifts\n\
@@ -534,6 +552,21 @@ where
     }
     if command == "serve" {
         return serve::serve_command(&args[1..], &gopts);
+    }
+    if command == "store" {
+        // Store maintenance needs no database file; handled before the
+        // db-file load like the other fileless commands.
+        return match args.get(1).map(String::as_str) {
+            Some("inspect") => {
+                let Some(path) = args.get(2) else {
+                    return err("store inspect: missing store PATH");
+                };
+                let store = mjoin::LoadedStore::open(std::path::Path::new(path))
+                    .map_err(|e| CliError(e.to_string()))?;
+                Ok(store.inspect(path))
+            }
+            _ => err("store: expected 'store inspect PATH'"),
+        };
     }
     let budget = gopts.budget();
     let guard = Guard::new(budget);
@@ -605,15 +638,78 @@ where
             }
         }
         "optimize" => {
-            let space = match args.get(2) {
+            let space_raw = args.get(2).cloned();
+            let space = match &space_raw {
                 Some(s) => parse_space(s)?,
                 None => SearchSpace::All,
             };
-            let o = optimize_outcome(db, space, &gopts).map_err(fail)?;
-            out.push_str(&o.text);
-            if recorder.is_some() {
-                if let Some(r) = &o.robust {
-                    sections.push(("degradation", mjoin::degradation_section(&r.report)));
+            // Warm-start: a store entry whose fingerprint matches this
+            // exact request replays the cold run's response byte for
+            // byte, skipping optimization entirely.
+            let fp = gopts.store.as_ref().map(|_| {
+                mjoin::optimize_fingerprint(
+                    db,
+                    space_raw.as_deref(),
+                    gopts.timeout_ms,
+                    gopts.max_memo_entries,
+                    gopts.max_tuples,
+                    gopts.threads(),
+                )
+            });
+            let mut warm: Option<String> = None;
+            if let (Some(store_path), Some(fp)) = (&gopts.store, &fp) {
+                let p = std::path::Path::new(store_path);
+                if p.exists() {
+                    let store = mjoin::LoadedStore::open(p)
+                        .map_err(|e| CliError(e.to_string()))?;
+                    warm = store.entry(fp).map(|e| e.response().to_string());
+                }
+            }
+            if let Some(response) = warm {
+                out.push_str(&response);
+            } else {
+                let o = optimize_outcome(db, space, &gopts).map_err(fail)?;
+                out.push_str(&o.text);
+                if recorder.is_some() {
+                    if let Some(r) = &o.robust {
+                        sections.push(("degradation", mjoin::degradation_section(&r.report)));
+                    }
+                }
+                // Save the cold run. Budgeted (ladder) runs are not
+                // persisted: their responses carry rung context that a
+                // replay could not reproduce faithfully under a changed
+                // budget clock.
+                if let (Some(store_path), Some(fp)) = (&gopts.store, fp) {
+                    if o.robust.is_none() {
+                        // The DP memo and cached cardinalities are worth
+                        // persisting only for the product-free space,
+                        // where the flat DPccp table is the native form;
+                        // a separate save-path pass harvests them so the
+                        // user-visible planning paths stay untouched.
+                        let (memo, taus) = if space == SearchSpace::NoCartesian {
+                            let mut oracle = ExactOracle::new(db);
+                            match mjoin::try_best_no_cartesian_ccp_with_memo(
+                                &mut oracle,
+                                db.scheme().full_set(),
+                                &Guard::unlimited(),
+                            ) {
+                                Ok(Some((_, memo))) => (Some(memo), oracle.memo_taus()),
+                                _ => (None, Vec::new()),
+                            }
+                        } else {
+                            (None, Vec::new())
+                        };
+                        let entry = mjoin::entry_from_optimize(
+                            fp,
+                            db.scheme().full_set(),
+                            o.plan.as_ref().map(|p| (&p.strategy, p.cost)),
+                            memo.as_ref(),
+                            &taus,
+                            &o.text,
+                        );
+                        mjoin::save_optimize_entry(std::path::Path::new(store_path), entry)
+                            .map_err(|e| CliError(e.to_string()))?;
+                    }
                 }
             }
         }

@@ -6,8 +6,6 @@
 //! served plan is byte-identical to the equivalent CLI invocation by
 //! construction, not by parallel maintenance.
 
-use std::fmt::Write as _;
-
 use mjoin::{MjoinError, SearchSpace};
 use mjoin_obs::Json;
 use mjoin_serve::{Engine, EngineRequest, EngineResponse, ServeConfig, Server};
@@ -89,43 +87,24 @@ impl Engine for MjoinEngine {
     /// budget knob — everything that can change an `optimize` answer.
     /// `execute` requests are never cached (they return data, and the
     /// trace's est-vs-actual lines depend on live execution).
+    ///
+    /// The key is [`mjoin::optimize_fingerprint`] — the same one the CLI
+    /// `--store` path writes, so a store written by CLI cold runs warms
+    /// the daemon's cache and a drained daemon's snapshot warms the CLI.
     fn fingerprint(&self, req: &EngineRequest) -> Option<String> {
         if req.op != "optimize" {
             return None;
         }
         let input = parse_input(&req.db).ok()?;
-        let db = &input.database;
-        let mut canon = String::new();
-        let _ = write!(
-            canon,
-            "v1|optimize|space={:?}|t={:?}|m={:?}|tu={:?}|threads={}",
-            req.space, req.timeout_ms, req.max_memo_entries, req.max_tuples, self.threads
-        );
-        for i in 0..db.len() {
-            let _ = write!(canon, "|rel {};", db.catalog().render(db.scheme().scheme(i)));
-            canon.push_str(&db.state(i).to_text(db.catalog()));
-        }
-        Some(fingerprint128(&canon))
+        Some(mjoin::optimize_fingerprint(
+            &input.database,
+            req.space.as_deref(),
+            req.timeout_ms,
+            req.max_memo_entries,
+            req.max_tuples,
+            self.threads,
+        ))
     }
-}
-
-/// 128 bits of FNV-1a (two independent offset bases) over the canonical
-/// form, so cache keys stay small no matter how large the database text
-/// is. Collisions are vanishingly unlikely and cost only a wrong cache
-/// hit on adversarial input; keys never leave the process.
-fn fingerprint128(s: &str) -> String {
-    fn fnv64(s: &str, mut h: u64) -> u64 {
-        for b in s.bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
-    }
-    format!(
-        "{:016x}{:016x}",
-        fnv64(s, 0xcbf2_9ce4_8422_2325),
-        fnv64(s, 0x9e37_79b9_7f4a_7c15)
-    )
 }
 
 /// Implements `mjoin serve [FLAGS]`: parses the serve-specific flags,
@@ -138,6 +117,8 @@ pub(crate) fn serve_command(args: &[String], gopts: &GuardOptions) -> Result<Str
         default_timeout_ms: gopts.timeout_ms,
         default_max_memo_entries: gopts.max_memo_entries,
         default_max_tuples: gopts.max_tuples,
+        // `--store` is a guard flag, stripped before this parser runs.
+        store_path: gopts.store.clone(),
         ..ServeConfig::default()
     };
     let mut addr_file: Option<String> = None;
@@ -168,6 +149,7 @@ pub(crate) fn serve_command(args: &[String], gopts: &GuardOptions) -> Result<Str
             "--max-timeout-ms" => config.max_timeout_ms = parse_u64(value(&mut it)?)?,
             "--cache-cap" => config.cache_cap = parse_u64(value(&mut it)?)? as usize,
             "--shed-retry-ms" => config.shed_retry_ms = parse_u64(value(&mut it)?)?,
+            "--store" => config.store_path = Some(value(&mut it)?),
             "--addr-file" => addr_file = Some(value(&mut it)?),
             other => return Err(CliError(format!("serve: unknown flag {other:?}"))),
         }

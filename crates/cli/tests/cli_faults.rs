@@ -53,6 +53,11 @@ fn every_site_is_reachable_from_the_cli() {
         ("adaptive::stage", &["execute", "db"]),
         ("adaptive::replan", &["execute", "drift", "--adaptive", "--replan-threshold", "4"]),
         ("obs::report", &["optimize", "db", "--metrics-json", "/dev/null"]),
+        // `store::load` fires before the file is even opened, so the path
+        // need not exist; `store::save` fires before the write, so the
+        // injected run leaves nothing on disk.
+        ("store::load", &["store", "inspect", "no-such.store"]),
+        ("store::save", &["optimize", "db", "--store", "/tmp/mjoin-cli-faults-never-written.store"]),
     ];
     let routed: Vec<&str> = routes.iter().map(|(s, _)| *s).collect();
     for site in mjoin::failpoints::SITES {

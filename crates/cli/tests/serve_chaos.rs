@@ -265,3 +265,54 @@ fn chaos_soak_with_the_real_engine() {
     server.shutdown();
     server.join();
 }
+
+/// A hostile scheme with more relations than any `RelSet` can index (65 on
+/// a 64-bit bitset) is rejected at the construction boundary as a typed
+/// `invalid_request` — in release mode too, where a missed bound would
+/// silently wrap shift arithmetic instead of panicking — and the worker
+/// pool survives to answer a clean request afterwards.
+#[test]
+fn oversized_scheme_is_invalid_request_and_pool_survives() {
+    let _serial = serialize();
+    let server = spawn_real_server(config());
+    let addr = server.addr();
+    // A 65-relation chain: a0,a1 ⋈ a1,a2 ⋈ … — one over the bitset cap.
+    let hostile: String = (0..65)
+        .map(|i| format!("relation a{i},a{}\n1 2\n", i + 1))
+        .collect();
+    let served = request(
+        addr,
+        &req_line(vec![
+            ("op", Json::Str("optimize".to_string())),
+            ("db", Json::Str(hostile)),
+        ]),
+    );
+    assert_eq!(served.get("ok"), Some(&Json::Bool(false)), "{served:?}");
+    let error = served.get("error").expect("typed error object");
+    assert_eq!(
+        error.get("kind").and_then(Json::as_str),
+        Some("invalid_request"),
+        "{served:?}"
+    );
+    let msg = error.get("message").and_then(Json::as_str).unwrap_or("");
+    assert!(
+        msg.contains("64") && msg.contains("65"),
+        "message must name the cap and the offending count: {msg}"
+    );
+    // The pool is unharmed: the very next request over the same daemon
+    // answers byte-identically to the CLI.
+    let clean = request(
+        addr,
+        &req_line(vec![
+            ("op", Json::Str("optimize".to_string())),
+            ("db", Json::Str(DB.to_string())),
+        ]),
+    );
+    assert_eq!(clean.get("ok"), Some(&Json::Bool(true)), "{clean:?}");
+    assert_eq!(
+        clean.get("output").and_then(Json::as_str),
+        Some(cli(&["optimize", "db"]).as_str()),
+    );
+    server.shutdown();
+    server.join();
+}

@@ -216,6 +216,21 @@ impl<'a> ExactOracle<'a> {
     pub fn memo_len(&self) -> usize {
         self.memo.len()
     }
+
+    /// Harvests the cached cardinalities: `(subset bits, τ)` for every
+    /// materialized intermediate, in ascending subset order (the memo map
+    /// iterates in hash order, so the harvest sorts for determinism). The
+    /// persistent store saves these so a warm process prices the same
+    /// subsets without rematerializing a single join.
+    pub fn memo_taus(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .memo
+            .iter()
+            .map(|(s, r)| (s.0, r.tau()))
+            .collect();
+        out.sort_unstable();
+        out
+    }
 }
 
 impl CardinalityOracle for ExactOracle<'_> {

@@ -36,6 +36,8 @@ pub const SITES: &[&str] = &[
     "serve::decode",
     "serve::enqueue",
     "serve::respond",
+    "store::load",
+    "store::save",
 ];
 
 /// One-line operator-facing description per registered site, in [`SITES`]
@@ -58,6 +60,8 @@ pub const SITE_DOCS: &[(&str, &str)] = &[
     ("serve::decode", "serve daemon: request line decode"),
     ("serve::enqueue", "serve daemon: admission-queue submit"),
     ("serve::respond", "serve daemon: response write path"),
+    ("store::load", "persistent store: open/validate path"),
+    ("store::save", "persistent store: serialize/write path"),
 ];
 
 static ANY_ARMED: AtomicBool = AtomicBool::new(false);

@@ -78,6 +78,11 @@ pub enum MjoinError {
     /// `unwrap()`/`expect()` on paths that should be unreachable. Also
     /// carries injected faults from [`failpoints`].
     Internal(String),
+    /// A persistent optimizer store failed structural validation (bad
+    /// magic, version, endianness, section bounds, or checksum) or could
+    /// not be read/written. Truncated and corrupted files must surface
+    /// here, never as UB or a panic.
+    CorruptStore(String),
 }
 
 impl std::fmt::Display for MjoinError {
@@ -89,6 +94,7 @@ impl std::fmt::Display for MjoinError {
             MjoinError::Cancelled => write!(f, "operation cancelled"),
             MjoinError::InvalidScheme(msg) => write!(f, "invalid scheme: {msg}"),
             MjoinError::Internal(msg) => write!(f, "internal error: {msg}"),
+            MjoinError::CorruptStore(msg) => write!(f, "corrupt store: {msg}"),
         }
     }
 }

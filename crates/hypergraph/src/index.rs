@@ -16,6 +16,8 @@
 //! The index owns its data (no borrow of the scheme), so a sequential DP
 //! can build it from `oracle.scheme()` and then use the oracle mutably.
 
+use mjoin_guard::MjoinError;
+
 use crate::hash::FastMap;
 use crate::relset::RelSet;
 use crate::scheme::DbScheme;
@@ -46,12 +48,21 @@ pub struct SchemeIndex {
 
 impl SchemeIndex {
     /// Builds the index for the connected subsets of `within`.
+    ///
+    /// # Panics
+    /// Panics when the connected-subset count exceeds the u32 rank space;
+    /// long-running services should prefer [`SchemeIndex::try_new`], which
+    /// reports that case as a typed error instead of burning the calling
+    /// worker through `catch_unwind`.
     pub fn new(scheme: &DbScheme, within: RelSet) -> SchemeIndex {
+        Self::try_new(scheme, within).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`SchemeIndex::new`], with rank-space overflow reported as
+    /// [`MjoinError::InvalidScheme`] rather than a panic.
+    pub fn try_new(scheme: &DbScheme, within: RelSet) -> Result<SchemeIndex, MjoinError> {
         let subsets = scheme.connected_subsets(within);
-        assert!(
-            u32::try_from(subsets.len()).is_ok(),
-            "connected-subset count exceeds the u32 rank space"
-        );
+        Self::ensure_rank_space(subsets.len())?;
         let n = within.len();
         let use_dense = n > 0 && n <= DENSE_MAX_RELS && within == RelSet::full(n);
         let mut ranks = FastMap::default();
@@ -66,13 +77,25 @@ impl SchemeIndex {
             }
             by_size[s.len()].push(rank as u32);
         }
-        SchemeIndex {
+        Ok(SchemeIndex {
             within,
             subsets,
             ranks,
             dense,
             by_size,
+        })
+    }
+
+    /// The rank-space bound [`try_new`](Self::try_new) enforces, split out
+    /// so the overflow arm is unit-testable (no real scheme can produce
+    /// 2³² connected subsets in test time).
+    fn ensure_rank_space(count: usize) -> Result<(), MjoinError> {
+        if u32::try_from(count).is_err() {
+            return Err(MjoinError::InvalidScheme(format!(
+                "connected-subset count {count} exceeds the u32 rank space"
+            )));
         }
+        Ok(())
     }
 
     /// The subset this index covers.
@@ -200,6 +223,19 @@ mod tests {
             // Out-of-range bits must not index past the dense table.
             assert_eq!(idx.rank(RelSet::singleton(63)), None);
         }
+    }
+
+    #[test]
+    fn try_new_succeeds_where_new_does_and_overflow_is_typed() {
+        let d = scheme(&["AB", "BC", "CD"]);
+        let idx = SchemeIndex::try_new(&d, d.full_set()).unwrap();
+        assert_eq!(idx.len(), SchemeIndex::new(&d, d.full_set()).len());
+        // The overflow arm itself: no constructible scheme reaches 2³²
+        // connected subsets, so the extracted bound is tested directly.
+        assert!(SchemeIndex::ensure_rank_space(u32::MAX as usize).is_ok());
+        let err = SchemeIndex::ensure_rank_space(u32::MAX as usize + 1).unwrap_err();
+        assert!(matches!(err, MjoinError::InvalidScheme(_)), "{err}");
+        assert!(err.to_string().contains("rank space"), "{err}");
     }
 
     #[test]

@@ -60,12 +60,14 @@ impl RelSet {
     /// Removes index `i`.
     #[inline]
     pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < MAX_RELATIONS);
         self.0 &= !(1u64 << i);
     }
 
     /// Does the set contain `i`?
     #[inline]
     pub fn contains(self, i: usize) -> bool {
+        debug_assert!(i < MAX_RELATIONS);
         self.0 & (1u64 << i) != 0
     }
 

@@ -23,15 +23,21 @@ impl DbScheme {
     /// # Errors
     /// [`RelationError::EmptyScheme`] if the family is empty or any member
     /// is the empty attribute set (the paper requires nonempty relation
-    /// schemes). At most [`MAX_RELATIONS`] members are supported.
+    /// schemes); [`RelationError::TooManyRelations`] past [`MAX_RELATIONS`]
+    /// members. The size check is a hard error (not a `debug_assert`)
+    /// because it is the single boundary keeping every downstream
+    /// [`RelSet`] shift in range — release builds must reject oversized
+    /// inputs here rather than silently wrap bitset arithmetic.
     pub fn new(schemes: Vec<AttrSet>) -> Result<Self, RelationError> {
         if schemes.is_empty() || schemes.iter().any(|s| s.is_empty()) {
             return Err(RelationError::EmptyScheme);
         }
-        assert!(
-            schemes.len() <= MAX_RELATIONS,
-            "database schemes are limited to {MAX_RELATIONS} relations"
-        );
+        if schemes.len() > MAX_RELATIONS {
+            return Err(RelationError::TooManyRelations {
+                max: MAX_RELATIONS,
+                got: schemes.len(),
+            });
+        }
         let adjacency = (0..schemes.len())
             .map(|i| {
                 RelSet::from_indices(

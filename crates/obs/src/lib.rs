@@ -105,11 +105,18 @@ pub enum Counter {
     ServeCacheHits,
     /// Serve-daemon plan-cache entries evicted to stay under the cap.
     ServeCacheEvictions,
+    /// Persistent-store fingerprint lookups that found an entry.
+    StoreHits,
+    /// Persistent stores opened and validated successfully.
+    StoreLoads,
+    /// Bytes mapped by successful zero-copy store loads (0 when the
+    /// buffered fallback path served the load).
+    StoreBytesMapped,
 }
 
 /// All counters, in registry order. `Counter::ALL.len()` sizes the array.
 impl Counter {
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 27] = [
         Counter::OracleMemoHits,
         Counter::OracleSubsetsMaterialized,
         Counter::OracleSharedHits,
@@ -134,6 +141,9 @@ impl Counter {
         Counter::ServeShed,
         Counter::ServeCacheHits,
         Counter::ServeCacheEvictions,
+        Counter::StoreHits,
+        Counter::StoreLoads,
+        Counter::StoreBytesMapped,
     ];
 
     /// Stable dotted name used as the JSON key and table row label.
@@ -165,6 +175,9 @@ impl Counter {
             Counter::ServeShed => "serve.shed",
             Counter::ServeCacheHits => "serve.cache_hits",
             Counter::ServeCacheEvictions => "serve.cache_evictions",
+            Counter::StoreHits => "store.hits",
+            Counter::StoreLoads => "store.loads",
+            Counter::StoreBytesMapped => "store.bytes_mapped",
         }
     }
 }

@@ -451,10 +451,30 @@ fn nocp_dpccp<O: CardinalityOracle>(
     subset: RelSet,
     guard: &Guard,
 ) -> Result<Option<Plan>, MjoinError> {
+    let (index, table) = nocp_dpccp_core(oracle, subset, guard)?;
+    let Some(root) = index.rank(subset) else {
+        return Ok(None);
+    };
+    if !table.solved(root) {
+        return Ok(None);
+    }
+    Ok(Some(Plan {
+        strategy: try_rebuild_flat(root, &index, &table)?,
+        cost: table.costs[root as usize],
+    }))
+}
+
+/// The DPccp body: builds the rank index and solves the flat table.
+/// Shared by the plain entry point and the memo-exporting one.
+fn nocp_dpccp_core<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    guard: &Guard,
+) -> Result<(SchemeIndex, FlatTable), MjoinError> {
     // One connected-subset enumeration builds the rank index, one csg–cmp
     // enumeration builds every candidate list; the DP itself then touches
     // no hash table and no graph predicate — just flat `Vec` slots.
-    let index = SchemeIndex::new(oracle.scheme(), subset);
+    let index = SchemeIndex::try_new(oracle.scheme(), subset)?;
     let levels = build_level_pairs(oracle.scheme(), &index, guard)?;
     let mut table = FlatTable::unsolved(index.len());
     for &r in index.level(1) {
@@ -500,16 +520,108 @@ fn nocp_dpccp<O: CardinalityOracle>(
             }
         }
     }
+    Ok((index, table))
+}
+
+/// A DPccp memo exported for persistence: the connected subsets in rank
+/// order with their solved costs and winning `(csg_rank, cmp_rank)`
+/// splits. Everything else the DP knows (levels, adjacency) is derivable
+/// from the subsets, so this is the minimal durable form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DpMemoExport {
+    /// Connected-subset bits in rank order.
+    pub subsets: Vec<u64>,
+    /// `costs[r]` = solved cost of rank `r`, `u64::MAX` unsolved.
+    pub costs: Vec<u64>,
+    /// `splits[r]` = winning split of rank `r`, `None` for leaves.
+    pub splits: Vec<Option<(u32, u32)>>,
+}
+
+/// [`try_best_no_cartesian`] with [`DpAlgorithm::DpCcp`], additionally
+/// returning the solved memo for persistence. Plans are identical to the
+/// plain entry point's; only the save path pays for the export.
+pub fn try_best_no_cartesian_ccp_with_memo<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    guard: &Guard,
+) -> Result<Option<(Plan, DpMemoExport)>, MjoinError> {
+    failpoints::hit("optimizer::dp")?;
+    if !oracle.scheme().connected(subset) {
+        return Ok(None);
+    }
+    let (index, table) = nocp_dpccp_core(oracle, subset, guard)?;
     let Some(root) = index.rank(subset) else {
         return Ok(None);
     };
     if !table.solved(root) {
         return Ok(None);
     }
-    Ok(Some(Plan {
+    let plan = Plan {
         strategy: try_rebuild_flat(root, &index, &table)?,
         cost: table.costs[root as usize],
+    };
+    let export = DpMemoExport {
+        subsets: (0..index.len() as u32).map(|r| index.subset(r).0).collect(),
+        costs: table.costs,
+        splits: table.splits,
+    };
+    Ok(Some((plan, export)))
+}
+
+/// Rebuilds the winning plan for `within` from an exported memo, without
+/// an oracle — the warm-start path. Returns `Ok(None)` when the memo does
+/// not cover (or did not solve) `within`; a structurally inconsistent memo
+/// (out-of-range or cyclic splits, non-singleton leaf) is a typed error.
+pub fn plan_from_memo(memo: &DpMemoExport, within: RelSet) -> Result<Option<Plan>, MjoinError> {
+    let n = memo.subsets.len();
+    if memo.costs.len() != n || memo.splits.len() != n {
+        return Err(MjoinError::Internal(
+            "memo export tables are not parallel".into(),
+        ));
+    }
+    let Some(root) = memo.subsets.iter().position(|&s| s == within.0) else {
+        return Ok(None);
+    };
+    if memo.costs[root] == u64::MAX && memo.splits[root].is_none() {
+        return Ok(None);
+    }
+    Ok(Some(Plan {
+        strategy: rebuild_from_export(root, memo, 0)?,
+        cost: memo.costs[root],
     }))
+}
+
+fn rebuild_from_export(r: usize, memo: &DpMemoExport, depth: usize) -> Result<Strategy, MjoinError> {
+    // A well-formed memo's splits point strictly downward in subset size,
+    // bounding the tree depth by MAX_RELATIONS; the cap turns a cyclic
+    // (corrupt) memo into a typed error instead of a stack overflow.
+    if depth > mjoin_hypergraph::MAX_RELATIONS {
+        return Err(MjoinError::Internal("memo export splits are cyclic".into()));
+    }
+    let set = RelSet(memo.subsets[r]);
+    match memo.splits[r] {
+        None => {
+            if !set.is_singleton() {
+                return Err(MjoinError::Internal(format!(
+                    "memo export leaf {set:?} is not a singleton"
+                )));
+            }
+            Ok(Strategy::leaf(set.first().expect("singleton is nonempty")))
+        }
+        Some((a, b)) => {
+            let (a, b) = (a as usize, b as usize);
+            if a >= memo.subsets.len() || b >= memo.subsets.len() {
+                return Err(MjoinError::Internal(
+                    "memo export split rank out of range".into(),
+                ));
+            }
+            Strategy::join(
+                rebuild_from_export(a, memo, depth + 1)?,
+                rebuild_from_export(b, memo, depth + 1)?,
+            )
+            .map_err(|e| MjoinError::Internal(format!("memo export splits overlap: {e}")))
+        }
+    }
 }
 
 /// The pre-index DPccp candidate scan, kept verbatim as an ablation
@@ -972,7 +1084,7 @@ pub fn try_best_no_cartesian_parallel<O: SyncCardinalityOracle>(
         // DPccp; the unit of scheduling here is one target subset, so the
         // level pair lists are scattered into a per-target CSR view, and
         // the merge back into the frozen table happens in rank order.
-        let index = SchemeIndex::new(scheme, subset);
+        let index = SchemeIndex::try_new(scheme, subset)?;
         let cands = build_ccp_candidates(&build_level_pairs(scheme, &index, guard)?, index.len());
         let mut table = FlatTable::unsolved(index.len());
         for &r in index.level(1) {

@@ -24,6 +24,15 @@ pub enum RelationError {
     },
     /// A projection target was not a subset of the relation's scheme.
     NotASubscheme,
+    /// A database scheme held more relations than the bitset universe
+    /// supports. Rejected at the construction boundary so release builds
+    /// never silently wrap a `RelSet` shift.
+    TooManyRelations {
+        /// The cap (`mjoin_hypergraph::MAX_RELATIONS`).
+        max: usize,
+        /// How many relations the input supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -39,6 +48,9 @@ impl fmt::Display for RelationError {
             }
             RelationError::NotASubscheme => {
                 write!(f, "projection target is not a subset of the relation scheme")
+            }
+            RelationError::TooManyRelations { max, got } => {
+                write!(f, "database schemes are limited to {max} relations, got {got}")
             }
         }
     }
@@ -59,5 +71,7 @@ mod tests {
         assert!(!RelationError::EmptyScheme.to_string().is_empty());
         assert!(!RelationError::EmptyAttributeName.to_string().is_empty());
         assert!(!RelationError::NotASubscheme.to_string().is_empty());
+        let e = RelationError::TooManyRelations { max: 64, got: 65 };
+        assert!(e.to_string().contains("64") && e.to_string().contains("65"));
     }
 }

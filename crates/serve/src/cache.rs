@@ -107,6 +107,21 @@ impl PlanCache {
         evicted
     }
 
+    /// A copy of every cached `(key, response)` pair, sorted by key so the
+    /// drain snapshot written to a persistent store is deterministic for a
+    /// given cache content.
+    pub fn export(&self) -> Vec<(String, EngineResponse)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = lock(shard);
+            for (k, e) in &shard.entries {
+                out.push((k.clone(), e.resp.clone()));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Entries currently cached, across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| lock(s).entries.len()).sum()

@@ -136,6 +136,10 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// `retry_after_ms` hint attached to shed responses.
     pub shed_retry_ms: u64,
+    /// Persistent-store path: the plan cache warm-starts from it at boot
+    /// (a missing file starts fresh; a corrupt one refuses to boot) and
+    /// snapshots back to it on graceful drain.
+    pub store_path: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -152,6 +156,7 @@ impl Default for ServeConfig {
             default_max_tuples: None,
             cache_cap: 256,
             shed_retry_ms: 50,
+            store_path: None,
         }
     }
 }
@@ -225,9 +230,34 @@ impl Server {
     pub fn spawn(config: ServeConfig, engine: Box<dyn Engine>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let cache = PlanCache::new(config.cache_cap);
+        // Warm-start before any worker runs: a missing store starts
+        // fresh, a corrupt one refuses to boot (serving stale or torn
+        // state silently would be worse than not serving).
+        if let Some(path) = &config.store_path {
+            let p = std::path::Path::new(path);
+            if p.exists() {
+                let store = mjoin_store::LoadedStore::open(p).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+                for e in store.entries() {
+                    let cost = match e.plan_cost() {
+                        u64::MAX => Json::Null,
+                        c => Json::U64(c),
+                    };
+                    cache.insert(
+                        e.fingerprint().to_string(),
+                        EngineResponse {
+                            output: e.response().to_string(),
+                            extra: vec![("cost", cost)],
+                        },
+                    );
+                }
+            }
+        }
         let shared = Arc::new(Shared {
             queue: Admission::new(config.queue_cap),
-            cache: PlanCache::new(config.cache_cap),
+            cache,
             stats: Stats::default(),
             shutting_down: AtomicBool::new(false),
             addr,
@@ -284,8 +314,38 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Snapshot the plan cache on graceful drain. Failure to persist
+        // must not fail the drain — the server already answered every
+        // request — so it is reported and swallowed.
+        if let Some(path) = &self.shared.config.store_path {
+            if let Err(e) = snapshot_cache(&self.shared.cache, std::path::Path::new(path)) {
+                eprintln!("mjoin serve: store snapshot to {path} failed: {e}");
+            }
+        }
         self.shared.snapshot()
     }
+}
+
+/// Writes the cache's replayable entries to `path`. Only responses whose
+/// extras are exactly the optimize `cost` field are persisted: those are
+/// reconstructible bit-identically at warm-start. Entries with other
+/// extras (budgeted-ladder rungs, execute results) are skipped rather
+/// than risk replaying a response whose extras no longer match.
+fn snapshot_cache(cache: &PlanCache, path: &std::path::Path) -> Result<u64, MjoinError> {
+    let entries: Vec<mjoin_store::StoreEntry> = cache
+        .export()
+        .into_iter()
+        .filter_map(|(key, resp)| {
+            let hex = key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit());
+            let cost = match resp.extra.as_slice() {
+                [("cost", Json::U64(c))] => *c,
+                [("cost", Json::Null)] => u64::MAX,
+                _ => return None,
+            };
+            hex.then(|| mjoin_store::StoreEntry::response_only(key, cost, resp.output))
+        })
+        .collect();
+    mjoin_store::save(path, &entries)
 }
 
 fn initiate_shutdown(shared: &Arc<Shared>) {

@@ -166,6 +166,9 @@ pub fn kind_of(e: &MjoinError) -> &'static str {
         MjoinError::Cancelled => "cancelled",
         MjoinError::InvalidScheme(_) => "invalid_request",
         MjoinError::Internal(_) => "internal",
+        // A corrupt persistent store is a server-side condition, never the
+        // client's request.
+        MjoinError::CorruptStore(_) => "internal",
     }
 }
 

@@ -1,0 +1,109 @@
+//! Minimal read-only `mmap` wrapper — the only module in the workspace
+//! allowed to use `unsafe` (the crate root denies it everywhere else).
+//!
+//! No `libc` crate is available, so the two syscall wrappers are declared
+//! directly against the C runtime every unix Rust binary already links.
+//! The constants (`PROT_READ = 1`, `MAP_PRIVATE = 2`) have the same values
+//! on Linux and macOS. Anything unexpected — zero length, a failed map —
+//! reports `None` and the caller falls back to a buffered read, so the
+//! wrapper can never be the reason a store fails to load.
+//!
+//! Safety notes, for the three `unsafe` blocks below:
+//!
+//! * the mapping is `PROT_READ | MAP_PRIVATE` over a file descriptor we
+//!   hold open for the duration of the call; the kernel validates `fd`
+//!   and `len`, and a failed map returns `MAP_FAILED` which we check;
+//! * `as_slice` reconstructs exactly the `(ptr, len)` pair the successful
+//!   `mmap` returned, and the `Mapped` owner keeps the mapping alive for
+//!   the slice's lifetime (`&self` borrow);
+//! * `munmap` in `Drop` unmaps the same `(ptr, len)` pair exactly once.
+//!
+//! The one hazard `mmap` cannot remove: another process truncating the
+//! file underneath a live mapping raises `SIGBUS` on access. That is
+//! inherent to shared-file mapping on unix; deployments that rewrite
+//! stores do so via rename (as [`crate::save`] does), which keeps old
+//! mappings valid.
+
+#![allow(unsafe_code)]
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// A read-only private mapping of a whole file.
+#[cfg(unix)]
+pub(crate) struct Mapped {
+    ptr: *mut std::ffi::c_void,
+    len: usize,
+}
+
+#[cfg(unix)]
+impl Mapped {
+    /// Maps `len` bytes of `file`. `None` on any failure (including
+    /// `len == 0`, which `mmap` rejects) — callers fall back to a read.
+    pub(crate) fn map(file: &std::fs::File, len: usize) -> Option<Mapped> {
+        use std::os::fd::AsRawFd;
+        if len == 0 {
+            return None;
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr.is_null() || ptr as usize == usize::MAX {
+            return None;
+        }
+        Some(Mapped { ptr, len })
+    }
+
+    /// The mapped bytes. Valid for as long as `self` lives.
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mapped {
+    fn drop(&mut self) {
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+/// Non-unix stub: never maps, so every load takes the buffered path.
+#[cfg(not(unix))]
+pub(crate) struct Mapped;
+
+#[cfg(not(unix))]
+impl Mapped {
+    pub(crate) fn map(_file: &std::fs::File, _len: usize) -> Option<Mapped> {
+        None
+    }
+
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &[]
+    }
+}

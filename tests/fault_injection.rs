@@ -159,6 +159,23 @@ fn provoke(site: &str) -> MjoinError {
         "serve::accept" | "serve::decode" | "serve::enqueue" | "serve::respond" => {
             provoke_serve(site)
         }
+        // Both store failpoints fire before any filesystem access, so the
+        // load path need not exist and the save run writes nothing.
+        "store::load" => {
+            mjoin::LoadedStore::open(std::path::Path::new("no-such.store")).unwrap_err()
+        }
+        "store::save" => {
+            let entry = mjoin::StoreEntry::response_only(
+                mjoin::fingerprint128("fault-injection"),
+                u64::MAX,
+                "plan: AB\n".to_string(),
+            );
+            mjoin::save_optimize_entry(
+                std::path::Path::new("/tmp/mjoin-fault-injection-never-written.store"),
+                entry,
+            )
+            .unwrap_err()
+        }
         other => panic!("unmapped failpoint site {other}: extend this test"),
     }
 }
