@@ -150,14 +150,138 @@ fn measure(clients: usize, iters_per_client: usize) -> Json {
     ])
 }
 
+/// One tenant connection's closed loop, carrying a `client` identity on
+/// the wire. Returns per-request latencies plus ok/shed counts (a shed is
+/// not retried — the closed loop just moves on, which keeps the arrival
+/// rate honest).
+fn tenant_loop(
+    addr: std::net::SocketAddr,
+    name: &str,
+    dbs: &[String],
+    iters: usize,
+) -> (Vec<Duration>, u64, u64) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(iters);
+    let (mut oks, mut sheds) = (0u64, 0u64);
+    for i in 0..iters {
+        let db = &dbs[i % dbs.len()];
+        let mut line = Json::obj(vec![
+            ("op", Json::Str("optimize".to_string())),
+            ("db", Json::Str(db.clone())),
+            ("client", Json::Str(name.to_string())),
+        ])
+        .to_compact_string();
+        line.push('\n');
+        let started = Instant::now();
+        writer.write_all(line.as_bytes()).expect("send");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read response");
+        latencies.push(started.elapsed());
+        let doc = json::parse(resp.trim()).expect("well-formed response");
+        if doc.get("ok") == Some(&Json::Bool(true)) {
+            oks += 1;
+        } else {
+            sheds += 1;
+        }
+    }
+    (latencies, oks, sheds)
+}
+
+/// The noisy-neighbor scenario: one hog tenant driving 12 concurrent
+/// connections against four polite single-connection tenants, measured
+/// with the fairness knobs off and on. Returns one row per configuration
+/// with per-client p50/p99/shed-rate breakdowns.
+fn measure_tenants(fair: bool, iters: usize) -> Json {
+    let server = Server::spawn(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 8,
+            // No cache: a hit answers from the connection thread and
+            // would hide the queue entirely.
+            cache_cap: 0,
+            client_queue_cap: if fair { 2 } else { 0 },
+            ..ServeConfig::default()
+        },
+        Box::new(MjoinEngine { threads: 1 }),
+    )
+    .expect("spawn serve daemon");
+    let addr = server.addr();
+    let dbs = db_pool();
+    let mut specs: Vec<String> = vec!["hog".to_string(); 12];
+    specs.extend((0..4).map(|i| format!("fair-{i}")));
+    let results: Vec<(String, Vec<Duration>, u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|name| {
+                let dbs = &dbs;
+                s.spawn(move || {
+                    let (lat, oks, sheds) = tenant_loop(addr, name, dbs, iters);
+                    (name.clone(), lat, oks, sheds)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("tenant")).collect()
+    });
+    server.shutdown();
+    server.join();
+    // Aggregate the hog's connections into one row per client name.
+    let mut by_client: Vec<(String, Vec<Duration>, u64, u64)> = Vec::new();
+    for (name, lat, oks, sheds) in results {
+        match by_client.iter_mut().find(|(n, _, _, _)| *n == name) {
+            Some((_, l, o, sh)) => {
+                l.extend(lat);
+                *o += oks;
+                *sh += sheds;
+            }
+            None => by_client.push((name, lat, oks, sheds)),
+        }
+    }
+    let rows: Vec<Json> = by_client
+        .into_iter()
+        .map(|(name, mut lat, oks, sheds)| {
+            lat.sort_unstable();
+            let total = (oks + sheds).max(1);
+            println!(
+                "serve_throughput tenants fairness={fair} client={name}: \
+                 p50 {:?}, p99 {:?}, shed rate {:.2}",
+                quantile(&lat, 0.50),
+                quantile(&lat, 0.99),
+                sheds as f64 / total as f64,
+            );
+            Json::obj(vec![
+                ("client", Json::Str(name)),
+                ("requests", Json::U64(oks + sheds)),
+                ("ok", Json::U64(oks)),
+                ("shed", Json::U64(sheds)),
+                ("p50_us", Json::U64(quantile(&lat, 0.50).as_micros() as u64)),
+                ("p99_us", Json::U64(quantile(&lat, 0.99).as_micros() as u64)),
+                ("shed_rate", Json::F64(sheds as f64 / total as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("fairness", Json::Bool(fair)),
+        ("clients", Json::Arr(rows)),
+    ])
+}
+
 fn main() {
     let iters_per_client = if smoke() { 20 } else { 300 };
-    // The recorder is armed across all three runs so the report's counter
+    // The recorder is armed across all runs so the report's counter
     // section reflects the full workload (requests, hits, evictions, shed).
     let rec = Recorder::arm();
     let rows: Vec<Json> = [1usize, 4, 16]
         .into_iter()
         .map(|clients| measure(clients, iters_per_client))
+        .collect();
+    let tenant_iters = if smoke() { 10 } else { 100 };
+    let tenant_rows: Vec<Json> = [false, true]
+        .into_iter()
+        .map(|fair| measure_tenants(fair, tenant_iters))
         .collect();
     let snapshot = rec.snapshot();
     drop(rec);
@@ -168,6 +292,8 @@ fn main() {
         Json::obj(vec![
             ("iters_per_client", Json::U64(iters_per_client as u64)),
             ("rows", Json::Arr(rows)),
+            ("tenant_iters", Json::U64(tenant_iters as u64)),
+            ("tenant_rows", Json::Arr(tenant_rows)),
         ]),
     );
 }

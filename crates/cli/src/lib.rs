@@ -38,10 +38,10 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use mjoin::{
-    analyze_guarded, failpoints, optimize_database_robust_threaded,
-    try_best_avoid_cartesian_parallel, try_best_no_cartesian_parallel, try_optimize, Budget,
-    Condition, Database, DpAlgorithm, ExactOracle, Guard, MjoinError, SearchSpace, SharedOracle,
-    Strategy, Value,
+    analyze_guarded, failpoints, optimize_database_robust_threaded, optimize_robust_threaded_from,
+    try_best_avoid_cartesian_parallel, try_best_no_cartesian_parallel, try_optimize, BrownoutLevel,
+    Budget, Condition, Database, DpAlgorithm, ExactOracle, Guard, MjoinError, SearchSpace,
+    SharedOracle, Strategy, Value,
 };
 use mjoin_fd::FdSet;
 use mjoin_hypergraph::{DbScheme, JoinTree};
@@ -440,6 +440,57 @@ pub fn optimize_outcome(
     })
 }
 
+/// [`optimize_outcome`] with a server-pinned brownout level: `Normal`
+/// delegates (byte-identical output); a browned level always runs the
+/// degradation ladder from the level's entry rung under the level's
+/// tightened budget, so the answer is a valid covering strategy that was
+/// cheap to find by construction. The report gains a `brownout:` line
+/// naming the level, so a degraded answer can never be mistaken for a
+/// full-ladder one.
+pub fn optimize_outcome_browned(
+    db: &Database,
+    space: SearchSpace,
+    gopts: &GuardOptions,
+    level: BrownoutLevel,
+) -> Result<OptimizeOutcome, MjoinError> {
+    if level == BrownoutLevel::Normal {
+        return optimize_outcome(db, space, gopts);
+    }
+    let budget = level.apply(gopts.budget());
+    let threads = gopts.threads();
+    let r = optimize_robust_threaded_from(
+        db,
+        db.scheme().full_set(),
+        space,
+        budget,
+        None,
+        threads,
+        level.entry_rung(),
+    )?;
+    let mut out = String::new();
+    let _ = writeln!(out, "search space: {space:?}");
+    let _ = writeln!(
+        out,
+        "plan: {}",
+        r.plan.strategy.render(db.catalog(), db.scheme())
+    );
+    if r.plan.cost == u64::MAX {
+        let _ = writeln!(out, "τ = (not costed within budget)");
+    } else {
+        let _ = writeln!(out, "τ = {}", r.plan.cost);
+    }
+    let _ = writeln!(out, "degradation: {}", r.report);
+    let _ = writeln!(out, "brownout: {level}");
+    let cost = (r.plan.cost != u64::MAX).then_some(r.plan.cost);
+    let plan = Some(r.plan.clone());
+    Ok(OptimizeOutcome {
+        text: out,
+        cost,
+        plan,
+        robust: Some(r),
+    })
+}
+
 /// Plans and executes under `estimation`/`config`, rendering exactly the
 /// text the `execute` command prints. Shared by the CLI and the serve
 /// daemon.
@@ -499,6 +550,10 @@ where
                  --max-timeout-ms N        ceiling on any per-request deadline (default 600000)\n\
                  --cache-cap N             plan-cache entry cap, 0 disables (default 256)\n\
                  --shed-retry-ms N         retry-after hint on shed responses (default 50)\n\
+                 --shed-retry-jitter-ms N  deterministic jitter window added to the retry hint (default 0)\n\
+                 --client-queue-cap N      per-client in-queue quota, 0 = off (default 0)\n\
+                 --client-rps N            per-client token-bucket admission rate, 0 = off (default 0)\n\
+                 --brownout                degrade-instead-of-shed: pin the ladder entry rung under load\n\
                  --addr-file PATH          write the bound address here once listening\n\
                  \n\
                  persistent store (optimize, serve):\n\

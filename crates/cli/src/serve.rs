@@ -6,12 +6,13 @@
 //! served plan is byte-identical to the equivalent CLI invocation by
 //! construction, not by parallel maintenance.
 
-use mjoin::{MjoinError, SearchSpace};
+use mjoin::{BrownoutLevel, MjoinError, SearchSpace};
 use mjoin_obs::Json;
 use mjoin_serve::{Engine, EngineRequest, EngineResponse, ServeConfig, Server};
 
 use crate::{
-    execute_report, optimize_outcome, parse_input, parse_space, CliError, GuardOptions, Input,
+    execute_report, optimize_outcome_browned, parse_input, parse_space, CliError, GuardOptions,
+    Input,
 };
 
 /// The real optimizer engine behind `mjoin serve`.
@@ -46,9 +47,17 @@ impl Engine for MjoinEngine {
         let (input, space) = self.parse(req)?;
         let db = &input.database;
         let gopts = self.guard_options(req);
+        // The serve daemon's brownout controller pins a degradation entry
+        // rung; an unknown level name is a contract violation, not load.
+        let level = match req.brownout.as_deref() {
+            None => BrownoutLevel::Normal,
+            Some(s) => BrownoutLevel::parse(s).ok_or_else(|| {
+                MjoinError::InvalidScheme(format!("unknown brownout level {s:?}"))
+            })?,
+        };
         match req.op.as_str() {
             "optimize" => {
-                let o = optimize_outcome(db, space, &gopts)?;
+                let o = optimize_outcome_browned(db, space, &gopts, level)?;
                 let mut extra: Vec<(&'static str, Json)> = vec![(
                     "cost",
                     o.cost.map(Json::U64).unwrap_or(Json::Null),
@@ -56,6 +65,9 @@ impl Engine for MjoinEngine {
                 if let Some(r) = &o.robust {
                     extra.push(("rung", Json::Str(r.report.answered_by.to_string())));
                     extra.push(("optimal", Json::Bool(r.report.optimal)));
+                }
+                if level != BrownoutLevel::Normal {
+                    extra.push(("brownout", Json::Str(level.name().to_string())));
                 }
                 Ok(EngineResponse {
                     output: o.text,
@@ -149,6 +161,14 @@ pub(crate) fn serve_command(args: &[String], gopts: &GuardOptions) -> Result<Str
             "--max-timeout-ms" => config.max_timeout_ms = parse_u64(value(&mut it)?)?,
             "--cache-cap" => config.cache_cap = parse_u64(value(&mut it)?)? as usize,
             "--shed-retry-ms" => config.shed_retry_ms = parse_u64(value(&mut it)?)?,
+            "--shed-retry-jitter-ms" => {
+                config.shed_retry_jitter_ms = parse_u64(value(&mut it)?)?;
+            }
+            "--client-queue-cap" => {
+                config.client_queue_cap = parse_u64(value(&mut it)?)? as usize;
+            }
+            "--client-rps" => config.client_rps = parse_u64(value(&mut it)?)?,
+            "--brownout" => config.brownout = true,
             "--store" => config.store_path = Some(value(&mut it)?),
             "--addr-file" => addr_file = Some(value(&mut it)?),
             other => return Err(CliError(format!("serve: unknown flag {other:?}"))),

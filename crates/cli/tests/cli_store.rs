@@ -214,3 +214,104 @@ fn serve_snapshot_on_drain_warms_the_cli() {
     .expect("warm run must replay the snapshot without optimizing");
     assert_eq!(warm, served_out, "CLI warm replay must be the served bytes");
 }
+
+/// Crash safety against a *real* process death, not just an injected
+/// fault: a daemon holding a valid store is SIGKILLed — once while
+/// serving, once right as a drain (and therefore a snapshot write) is
+/// starting — and the store must remain loadable afterwards. Saves are
+/// write-to-temp + fsync + atomic rename, so a kill at any instant leaves
+/// either the old bytes or a complete new file, never a torn one; a stale
+/// `.tmp` from the killed attempt must not poison later runs.
+#[test]
+fn sigkilled_daemon_never_tears_the_store() {
+    let _serial = serialize();
+    let store = TempStore::new("sigkill");
+    let cold = cli(&["optimize", "db", "--threads", "1", "--store", store.as_str()])
+        .expect("cold run succeeds");
+    let original = std::fs::read(&store.0).expect("read cold store");
+    // A leftover temp file from some earlier crashed save must be ignored
+    // and eventually overwritten, never merged or trusted.
+    let tmp = store.0.with_extension("tmp");
+    std::fs::write(&tmp, b"torn partial write from a past crash").unwrap();
+
+    let spawn_daemon = |tag: &str| {
+        let addr_file = std::env::temp_dir().join(format!(
+            "mjoin-cli-store-sigkill-{}-{tag}.addr",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&addr_file);
+        let child = std::process::Command::new(env!("CARGO_BIN_EXE_mjoin-cli"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                addr_file.to_str().unwrap(),
+                "--store",
+                store.as_str(),
+            ])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn mjoin-cli serve");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                if let Ok(a) = s.trim().parse::<std::net::SocketAddr>() {
+                    break a;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never wrote its address file"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let _ = std::fs::remove_file(&addr_file);
+        (child, addr)
+    };
+
+    // Kill #1: mid-serving, nothing draining. The store must be untouched.
+    let (mut child, addr) = spawn_daemon("running");
+    let served = request(addr, &optimize_line());
+    assert_eq!(served.get("ok"), Some(&Json::Bool(true)), "{served:?}");
+    child.kill().expect("SIGKILL the serving daemon");
+    child.wait().expect("reap");
+    assert_eq!(
+        std::fs::read(&store.0).expect("store still readable"),
+        original,
+        "a kill outside any save must leave the store byte-identical"
+    );
+
+    // Kill #2: fire a shutdown (which triggers the drain-time snapshot)
+    // and SIGKILL immediately, racing the save itself.
+    let (mut child, addr) = spawn_daemon("draining");
+    // Grow the cache so the snapshot actually rewrites the file.
+    let other_db = "relation AB\n1 10\n\nrelation BC\n10 5\n10 6\n";
+    let grow = request(
+        addr,
+        &Json::obj(vec![
+            ("op", Json::Str("optimize".to_string())),
+            ("db", Json::Str(other_db.to_string())),
+        ])
+        .to_compact_string(),
+    );
+    assert_eq!(grow.get("ok"), Some(&Json::Bool(true)), "{grow:?}");
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let _ = stream.write_all(b"{\"op\":\"shutdown\"}\n");
+        let _ = stream.flush();
+    }
+    child.kill().expect("SIGKILL the draining daemon");
+    child.wait().expect("reap");
+
+    // Whatever instant the kill landed at, the store must parse: either
+    // the original bytes or a complete new snapshot — never torn.
+    let inspected = cli(&["store", "inspect", store.as_str()])
+        .expect("store must stay loadable after a SIGKILL");
+    assert!(inspected.contains("version 1"), "{inspected}");
+    // And the surviving store still warm-starts a fresh run.
+    let warm = cli(&["optimize", "db", "--threads", "1", "--store", store.as_str()])
+        .expect("warm run over the surviving store succeeds");
+    assert_eq!(warm, cold, "surviving store must replay the cold bytes");
+    let _ = std::fs::remove_file(&tmp);
+}

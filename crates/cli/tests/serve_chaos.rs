@@ -16,7 +16,7 @@ use std::time::Duration;
 use mjoin::failpoints::ScopedFailpoint;
 use mjoin_cli::{run, MjoinEngine};
 use mjoin_obs::{json, Json};
-use mjoin_serve::{ServeConfig, Server};
+use mjoin_serve::{Engine as _, EngineRequest, ServeConfig, Server};
 
 fn serialize() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -178,7 +178,14 @@ fn chaos_soak_with_the_real_engine() {
     std::thread::scope(|s| {
         let chaos = s.spawn(|| {
             for _ in 0..iters {
-                for site in ["serve::accept", "serve::decode", "serve::enqueue", "serve::respond"] {
+                for site in [
+                    "serve::accept",
+                    "serve::decode",
+                    "serve::enqueue",
+                    "serve::admit_client",
+                    "serve::brownout",
+                    "serve::respond",
+                ] {
                     let _fp = ScopedFailpoint::arm(site);
                     std::thread::sleep(Duration::from_millis(8));
                 }
@@ -264,6 +271,67 @@ fn chaos_soak_with_the_real_engine() {
     );
     server.shutdown();
     server.join();
+}
+
+/// The engine side of the brownout contract: a server-pinned level makes
+/// the real optimizer answer from the pinned ladder rung with a valid
+/// covering plan, the report names the level, and an unknown level is a
+/// typed `invalid_request` — never a silent full-cost run.
+#[test]
+fn browned_requests_get_valid_plans_from_the_pinned_rung() {
+    let engine = MjoinEngine { threads: 1 };
+    let req = |level: Option<&str>| EngineRequest {
+        op: "optimize".to_string(),
+        db: DB.to_string(),
+        space: None,
+        timeout_ms: Some(60_000),
+        max_memo_entries: None,
+        max_tuples: None,
+        brownout: level.map(str::to_string),
+    };
+    for (level, rung) in [("reduced-dp", "dp"), ("greedy-only", "greedy")] {
+        let resp = engine.handle(&req(Some(level))).expect("browned optimize");
+        assert!(
+            resp.output.contains("plan: "),
+            "{level}: still a real plan\n{}",
+            resp.output
+        );
+        assert!(
+            resp.output.contains(&format!("brownout: {level}")),
+            "{level}: the report must name the level\n{}",
+            resp.output
+        );
+        let got = resp
+            .extra
+            .iter()
+            .find(|(k, _)| *k == "rung")
+            .and_then(|(_, v)| v.as_str())
+            .expect("rung extra");
+        assert_eq!(got, rung, "{level}");
+        assert!(resp
+            .extra
+            .iter()
+            .any(|(k, v)| *k == "brownout" && v.as_str() == Some(level)));
+    }
+    // The pinned entry only skips *cheaper-to-skip* rungs: the plan is
+    // still a valid strategy, so its τ must match a clean greedy answer's
+    // shape (costed, covering) — spot-checked via the cost extra.
+    let browned = engine.handle(&req(Some("greedy-only"))).unwrap();
+    assert!(browned
+        .extra
+        .iter()
+        .any(|(k, v)| *k == "cost" && v.as_u64().is_some()));
+    let err = engine.handle(&req(Some("half-hearted"))).unwrap_err();
+    assert!(
+        err.to_string().contains("brownout level"),
+        "unknown levels must be refused: {err}"
+    );
+    // Normal (absent) stays byte-identical to the unpinned path.
+    let normal = engine.handle(&req(None)).unwrap();
+    assert_eq!(
+        normal.output,
+        cli(&["optimize", "db", "--timeout-ms", "60000"]),
+    );
 }
 
 /// A hostile scheme with more relations than any `RelSet` can index (65 on

@@ -208,6 +208,84 @@ fn degradable(e: &MjoinError) -> bool {
     matches!(e, MjoinError::BudgetExceeded { .. })
 }
 
+/// A serve-mode brownout level: how aggressively an overloaded daemon
+/// trades plan quality for optimization effort — Tay's central trade-off,
+/// applied as admission policy. Each level maps to a ladder *entry rung*
+/// (rungs above it are recorded as skipped, never attempted) plus a budget
+/// transform that tightens the deadline and memo cap, so a browned-out
+/// request is cheap by construction rather than by racing a timer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BrownoutLevel {
+    /// No brownout: the full ladder with the caller's own budget.
+    #[default]
+    Normal,
+    /// Skip exhaustive enumeration; enter at the DP rung with the deadline
+    /// halved and the memo capped at 4096 entries.
+    ReducedDp,
+    /// Skip exhaustive and DP; enter at the greedy rung with the deadline
+    /// quartered and the memo capped at 1024 entries.
+    GreedyOnly,
+}
+
+impl BrownoutLevel {
+    /// Stable wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BrownoutLevel::Normal => "normal",
+            BrownoutLevel::ReducedDp => "reduced-dp",
+            BrownoutLevel::GreedyOnly => "greedy-only",
+        }
+    }
+
+    /// Parses a wire/CLI name back into a level.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "normal" => Some(BrownoutLevel::Normal),
+            "reduced-dp" => Some(BrownoutLevel::ReducedDp),
+            "greedy-only" => Some(BrownoutLevel::GreedyOnly),
+            _ => None,
+        }
+    }
+
+    /// The highest ladder rung this level permits.
+    pub fn entry_rung(self) -> Rung {
+        match self {
+            BrownoutLevel::Normal => Rung::Exhaustive,
+            BrownoutLevel::ReducedDp => Rung::Dp,
+            BrownoutLevel::GreedyOnly => Rung::Greedy,
+        }
+    }
+
+    /// Tightens `budget` for this level. Caps only ever shrink: an
+    /// existing deadline or memo cap below the level's own stays in force.
+    pub fn apply(self, budget: Budget) -> Budget {
+        let (denom, memo_cap) = match self {
+            BrownoutLevel::Normal => return budget,
+            BrownoutLevel::ReducedDp => (2, 4096u64),
+            BrownoutLevel::GreedyOnly => (4, 1024u64),
+        };
+        let mut b = budget;
+        if let Some(d) = b.deadline {
+            b = b.with_deadline(d / denom);
+        }
+        let cap = b.max_memo_entries.map_or(memo_cap, |m| m.min(memo_cap));
+        b.with_max_memo_entries(cap)
+    }
+}
+
+impl fmt::Display for BrownoutLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn brownout_skip(rung: Rung, entry: Rung) -> RungAttempt {
+    RungAttempt::skipped(
+        rung,
+        format!("skipped: brownout pinned the ladder entry at the {entry} rung"),
+    )
+}
+
 /// The degradation ladder over an [`ExactOracle`].
 ///
 /// Always returns a valid strategy covering `subset` (wrapped in a
@@ -219,6 +297,21 @@ pub fn optimize_robust(
     space: SearchSpace,
     budget: Budget,
     cancel: Option<&CancelToken>,
+) -> Result<RobustPlan, MjoinError> {
+    optimize_robust_from(db, subset, space, budget, cancel, Rung::Exhaustive)
+}
+
+/// [`optimize_robust`] with a pinned entry rung: every rung above `entry`
+/// is recorded as skipped (with a brownout note) and never attempted.
+/// `Rung::Exhaustive` is the identity. This is the serve-mode brownout
+/// hook — see [`BrownoutLevel::entry_rung`].
+pub fn optimize_robust_from(
+    db: &Database,
+    subset: RelSet,
+    space: SearchSpace,
+    budget: Budget,
+    cancel: Option<&CancelToken>,
+    entry: Rung,
 ) -> Result<RobustPlan, MjoinError> {
     failpoints::hit("core::ladder")?;
     if subset.is_empty() {
@@ -233,7 +326,9 @@ pub fn optimize_robust(
     let scheme = db.scheme().clone();
 
     // Rung 1: exhaustive enumeration (small subsets only).
-    if subset.len() > EXHAUSTIVE_MAX_RELS {
+    if entry > Rung::Exhaustive {
+        attempts.push(brownout_skip(Rung::Exhaustive, entry));
+    } else if subset.len() > EXHAUSTIVE_MAX_RELS {
         attempts.push(RungAttempt::skipped(
             Rung::Exhaustive,
             format!(
@@ -277,34 +372,38 @@ pub fn optimize_robust(
     }
 
     // Rung 2: the space's DP.
-    match rung_budget(&budget, started, 1, 2) {
-        None => attempts.push(RungAttempt::skipped(
-            Rung::Dp,
-            "skipped: deadline already exhausted".into(),
-        )),
-        Some(b) => {
-            let guard = rung_guard(b, cancel);
-            oracle.rearm(guard.clone());
-            incr(Counter::LadderRungsAttempted, 1);
-            let _rung_span = span(Span::LadderRung);
-            let rung_started = Instant::now();
-            match try_optimize(&mut oracle, subset, space, &guard) {
-                Ok(Some(plan)) => {
-                    let mut report = DegradationReport::clean(Rung::Dp, attempts);
-                    report.answered_stats = rung_stats(rung_started, &guard);
-                    return Ok(RobustPlan { plan, report })
+    if entry > Rung::Dp {
+        attempts.push(brownout_skip(Rung::Dp, entry));
+    } else {
+        match rung_budget(&budget, started, 1, 2) {
+            None => attempts.push(RungAttempt::skipped(
+                Rung::Dp,
+                "skipped: deadline already exhausted".into(),
+            )),
+            Some(b) => {
+                let guard = rung_guard(b, cancel);
+                oracle.rearm(guard.clone());
+                incr(Counter::LadderRungsAttempted, 1);
+                let _rung_span = span(Span::LadderRung);
+                let rung_started = Instant::now();
+                match try_optimize(&mut oracle, subset, space, &guard) {
+                    Ok(Some(plan)) => {
+                        let mut report = DegradationReport::clean(Rung::Dp, attempts);
+                        report.answered_stats = rung_stats(rung_started, &guard);
+                        return Ok(RobustPlan { plan, report })
+                    }
+                    Ok(None) => attempts.push(RungAttempt {
+                        rung: Rung::Dp,
+                        outcome: format!("search space {space:?} is empty for this scheme"),
+                        stats: rung_stats(rung_started, &guard),
+                    }),
+                    Err(e) if degradable(&e) => attempts.push(RungAttempt {
+                        rung: Rung::Dp,
+                        outcome: e.to_string(),
+                        stats: rung_stats(rung_started, &guard),
+                    }),
+                    Err(e) => return Err(e),
                 }
-                Ok(None) => attempts.push(RungAttempt {
-                    rung: Rung::Dp,
-                    outcome: format!("search space {space:?} is empty for this scheme"),
-                    stats: rung_stats(rung_started, &guard),
-                }),
-                Err(e) if degradable(&e) => attempts.push(RungAttempt {
-                    rung: Rung::Dp,
-                    outcome: e.to_string(),
-                    stats: rung_stats(rung_started, &guard),
-                }),
-                Err(e) => return Err(e),
             }
         }
     }
@@ -317,7 +416,10 @@ pub fn optimize_robust(
         space,
         SearchSpace::Linear | SearchSpace::LinearNoCartesian
     );
-    match rung_budget(&budget, started, 1, 1) {
+    if entry > Rung::Greedy {
+        attempts.push(brownout_skip(Rung::Greedy, entry));
+    } else {
+        match rung_budget(&budget, started, 1, 1) {
         None => attempts.push(RungAttempt::skipped(
             Rung::Greedy,
             "skipped: deadline already exhausted".into(),
@@ -348,6 +450,7 @@ pub fn optimize_robust(
                 }),
                 Err(e) => return Err(e),
             }
+        }
         }
     }
 
@@ -427,8 +530,22 @@ pub fn optimize_robust_threaded(
     cancel: Option<&CancelToken>,
     threads: usize,
 ) -> Result<RobustPlan, MjoinError> {
+    optimize_robust_threaded_from(db, subset, space, budget, cancel, threads, Rung::Exhaustive)
+}
+
+/// [`optimize_robust_threaded`] with a pinned entry rung — the threaded
+/// twin of [`optimize_robust_from`].
+pub fn optimize_robust_threaded_from(
+    db: &Database,
+    subset: RelSet,
+    space: SearchSpace,
+    budget: Budget,
+    cancel: Option<&CancelToken>,
+    threads: usize,
+    entry: Rung,
+) -> Result<RobustPlan, MjoinError> {
     if threads <= 1 {
-        return optimize_robust(db, subset, space, budget, cancel);
+        return optimize_robust_from(db, subset, space, budget, cancel, entry);
     }
     failpoints::hit("core::ladder")?;
     if subset.is_empty() {
@@ -443,7 +560,9 @@ pub fn optimize_robust_threaded(
     let scheme = db.scheme().clone();
 
     // Rung 1: parallel exhaustive enumeration (small subsets only).
-    if subset.len() > EXHAUSTIVE_MAX_RELS {
+    if entry > Rung::Exhaustive {
+        attempts.push(brownout_skip(Rung::Exhaustive, entry));
+    } else if subset.len() > EXHAUSTIVE_MAX_RELS {
         attempts.push(RungAttempt::skipped(
             Rung::Exhaustive,
             format!(
@@ -496,7 +615,10 @@ pub fn optimize_robust_threaded(
 
     // Rung 2: the space's DP — level-parallel for the product-free spaces,
     // sequential over the shared memo for the rest.
-    match rung_budget(&budget, started, 1, 2) {
+    if entry > Rung::Dp {
+        attempts.push(brownout_skip(Rung::Dp, entry));
+    } else {
+        match rung_budget(&budget, started, 1, 2) {
         None => attempts.push(RungAttempt::skipped(
             Rung::Dp,
             "skipped: deadline already exhausted".into(),
@@ -543,6 +665,7 @@ pub fn optimize_robust_threaded(
                 Err(e) => return Err(e),
             }
         }
+        }
     }
 
     // Rung 3: greedy — inherently sequential, but it reads the shared memo
@@ -551,7 +674,10 @@ pub fn optimize_robust_threaded(
         space,
         SearchSpace::Linear | SearchSpace::LinearNoCartesian
     );
-    match rung_budget(&budget, started, 1, 1) {
+    if entry > Rung::Greedy {
+        attempts.push(brownout_skip(Rung::Greedy, entry));
+    } else {
+        match rung_budget(&budget, started, 1, 1) {
         None => attempts.push(RungAttempt::skipped(
             Rung::Greedy,
             "skipped: deadline already exhausted".into(),
@@ -583,6 +709,7 @@ pub fn optimize_robust_threaded(
                 }),
                 Err(e) => return Err(e),
             }
+        }
         }
     }
 
@@ -762,6 +889,86 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, MjoinError::Cancelled);
+    }
+
+    #[test]
+    fn brownout_entry_pins_the_ladder() {
+        let db = data::paper_example4();
+        let full = db.scheme().full_set();
+        for level in [
+            BrownoutLevel::Normal,
+            BrownoutLevel::ReducedDp,
+            BrownoutLevel::GreedyOnly,
+        ] {
+            let r = optimize_robust_from(
+                &db,
+                full,
+                SearchSpace::All,
+                level.apply(Budget::unlimited()),
+                None,
+                level.entry_rung(),
+            )
+            .unwrap();
+            assert_eq!(r.report.answered_by, level.entry_rung(), "{level}: {}", r.report);
+            assert_eq!(r.plan.strategy.set(), full);
+            assert!(r.plan.strategy.validate(db.scheme()));
+            // Every rung above the entry is on record as a brownout skip.
+            let skips = r
+                .report
+                .attempts
+                .iter()
+                .filter(|a| a.outcome.contains("brownout"))
+                .count();
+            let expected = match level {
+                BrownoutLevel::Normal => 0,
+                BrownoutLevel::ReducedDp => 1,
+                BrownoutLevel::GreedyOnly => 2,
+            };
+            assert_eq!(skips, expected, "{level}");
+        }
+    }
+
+    #[test]
+    fn brownout_entry_pins_the_threaded_ladder() {
+        let db = data::paper_example4();
+        let full = db.scheme().full_set();
+        let r = optimize_robust_threaded_from(
+            &db,
+            full,
+            SearchSpace::All,
+            Budget::unlimited(),
+            None,
+            4,
+            Rung::Greedy,
+        )
+        .unwrap();
+        assert_eq!(r.report.answered_by, Rung::Greedy, "{}", r.report);
+        assert!(r.plan.strategy.validate(db.scheme()));
+    }
+
+    #[test]
+    fn brownout_budget_caps_only_shrink() {
+        let tight = Budget::unlimited()
+            .with_deadline(Duration::from_millis(100))
+            .with_max_memo_entries(16);
+        let b = BrownoutLevel::ReducedDp.apply(tight);
+        assert_eq!(b.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(b.max_memo_entries, Some(16)); // tighter caller cap wins
+        let loose = BrownoutLevel::GreedyOnly.apply(Budget::unlimited());
+        assert_eq!(loose.deadline, None);
+        assert_eq!(loose.max_memo_entries, Some(1024));
+    }
+
+    #[test]
+    fn brownout_names_round_trip() {
+        for level in [
+            BrownoutLevel::Normal,
+            BrownoutLevel::ReducedDp,
+            BrownoutLevel::GreedyOnly,
+        ] {
+            assert_eq!(BrownoutLevel::parse(level.name()), Some(level));
+        }
+        assert_eq!(BrownoutLevel::parse("bogus"), None);
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub const SITES: &[&str] = &[
     "serve::decode",
     "serve::enqueue",
     "serve::respond",
+    "serve::admit_client",
+    "serve::brownout",
     "store::load",
     "store::save",
 ];
@@ -60,6 +62,8 @@ pub const SITE_DOCS: &[(&str, &str)] = &[
     ("serve::decode", "serve daemon: request line decode"),
     ("serve::enqueue", "serve daemon: admission-queue submit"),
     ("serve::respond", "serve daemon: response write path"),
+    ("serve::admit_client", "serve daemon: per-client admission (quota/rate) check"),
+    ("serve::brownout", "serve daemon: brownout controller consult"),
     ("store::load", "persistent store: open/validate path"),
     ("store::save", "persistent store: serialize/write path"),
 ];

@@ -105,6 +105,18 @@ pub enum Counter {
     ServeCacheHits,
     /// Serve-daemon plan-cache entries evicted to stay under the cap.
     ServeCacheEvictions,
+    /// Upward brownout transitions (controller entered a degraded level).
+    ServeBrownoutEntered,
+    /// Requests shed against a per-client quota (sub-queue cap or token
+    /// bucket), as opposed to the shared admission queue being full.
+    ServeQuotaShed,
+    /// Complete deficit-round-robin rounds the fair queue drained (one
+    /// increment each time the scan wraps past every active client).
+    ServeDrrRounds,
+    /// Brownout-degraded answers served from the DP rung.
+    ServeBrownoutDpAnswers,
+    /// Brownout-degraded answers served from the greedy/fallback rungs.
+    ServeBrownoutGreedyAnswers,
     /// Persistent-store fingerprint lookups that found an entry.
     StoreHits,
     /// Persistent stores opened and validated successfully.
@@ -116,7 +128,7 @@ pub enum Counter {
 
 /// All counters, in registry order. `Counter::ALL.len()` sizes the array.
 impl Counter {
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 32] = [
         Counter::OracleMemoHits,
         Counter::OracleSubsetsMaterialized,
         Counter::OracleSharedHits,
@@ -141,6 +153,11 @@ impl Counter {
         Counter::ServeShed,
         Counter::ServeCacheHits,
         Counter::ServeCacheEvictions,
+        Counter::ServeBrownoutEntered,
+        Counter::ServeQuotaShed,
+        Counter::ServeDrrRounds,
+        Counter::ServeBrownoutDpAnswers,
+        Counter::ServeBrownoutGreedyAnswers,
         Counter::StoreHits,
         Counter::StoreLoads,
         Counter::StoreBytesMapped,
@@ -175,6 +192,11 @@ impl Counter {
             Counter::ServeShed => "serve.shed",
             Counter::ServeCacheHits => "serve.cache_hits",
             Counter::ServeCacheEvictions => "serve.cache_evictions",
+            Counter::ServeBrownoutEntered => "serve.brownout_entered",
+            Counter::ServeQuotaShed => "serve.quota_shed",
+            Counter::ServeDrrRounds => "serve.drr_rounds",
+            Counter::ServeBrownoutDpAnswers => "serve.brownout_dp_answers",
+            Counter::ServeBrownoutGreedyAnswers => "serve.brownout_greedy_answers",
             Counter::StoreHits => "store.hits",
             Counter::StoreLoads => "store.loads",
             Counter::StoreBytesMapped => "store.bytes_mapped",

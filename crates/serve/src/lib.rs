@@ -8,7 +8,18 @@
 //! never a panic, never a hang.**
 //!
 //! * **Load shedding** — a full queue answers `overloaded` immediately
-//!   (with a `retry_after_ms` hint) instead of queueing unboundedly.
+//!   (with a `retry_after_ms` hint, optionally jittered to break up retry
+//!   herds) instead of queueing unboundedly.
+//! * **Multi-tenant fairness** — requests carry an optional `client`
+//!   identity; per-client sub-queues drain by deficit round-robin, and
+//!   per-client quotas (`client_queue_cap`) and token-bucket rate limits
+//!   (`client_rps`) shed a flooding tenant against its *own* budget
+//!   instead of everyone's ([`queue`]).
+//! * **Brownout** — instead of shedding when saturated, a load-tracking
+//!   controller ([`brownout`]) progressively pins the optimizer's
+//!   degradation-ladder entry rung, so overloaded clients get valid
+//!   near-optimal plans tagged with the answering rung; hard shed stays
+//!   the last resort. Brownout-degraded answers are never cached.
 //! * **Deadline propagation** — a request's `timeout_ms` flows into the
 //!   engine's `Budget`, and time spent waiting in the admission queue is
 //!   subtracted first, so a request doomed by queue wait fails fast with
@@ -26,14 +37,18 @@
 //! tests fast and deterministic.
 //!
 //! Failure injection: the `serve::accept`, `serve::decode`,
-//! `serve::enqueue` and `serve::respond` failpoints cover the daemon's
-//! four I/O choke points. Observability: `serve.requests`, `serve.shed`,
-//! `serve.cache_hits`, `serve.cache_evictions` counters plus the
-//! `serve.request` latency span, all disarmed-free as usual.
+//! `serve::enqueue`, `serve::respond`, `serve::admit_client` and
+//! `serve::brownout` failpoints cover the daemon's I/O and admission
+//! choke points. Observability: `serve.requests`, `serve.shed`,
+//! `serve.quota_shed`, `serve.drr_rounds`, `serve.brownout_entered`,
+//! `serve.brownout_{dp,greedy}_answers`, `serve.cache_hits` and
+//! `serve.cache_evictions` counters plus the `serve.request` latency
+//! span, all disarmed-free as usual.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod brownout;
 pub mod cache;
 pub mod protocol;
 pub mod queue;
@@ -49,9 +64,10 @@ use std::time::{Duration, Instant};
 use mjoin_guard::{failpoints, MjoinError};
 use mjoin_obs::{Counter, Json, Span};
 
+use brownout::{BrownoutConfig, BrownoutController};
 use cache::PlanCache;
 use protocol::{decode_line, error_line, kind_of, ok_control_line, ok_line, Request};
-use queue::{Admission, Job, SubmitError};
+use queue::{Admission, FairnessConfig, Job, SubmitError, ANON_CLIENT};
 
 /// Extra slack a connection thread waits for its worker beyond the
 /// request deadline before declaring the worker wedged. Generous: the
@@ -78,6 +94,11 @@ pub struct EngineRequest {
     pub max_memo_entries: Option<u64>,
     /// Intermediate-tuple cap.
     pub max_tuples: Option<u64>,
+    /// Brownout level the server pinned for this job (`reduced-dp` or
+    /// `greedy-only`); `None` means the full ladder. The engine maps it
+    /// onto its degradation entry rung. Responses produced under brownout
+    /// are never inserted into the plan cache.
+    pub brownout: Option<String>,
 }
 
 /// A successful engine answer: the report text (byte-identical to the
@@ -136,6 +157,18 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// `retry_after_ms` hint attached to shed responses.
     pub shed_retry_ms: u64,
+    /// Width of the deterministic jitter window added to `shed_retry_ms`
+    /// (hints spread over `[shed_retry_ms, shed_retry_ms + jitter]`);
+    /// 0 keeps the fixed hint.
+    pub shed_retry_jitter_ms: u64,
+    /// Per-client in-queue quota (0 = no per-client cap).
+    pub client_queue_cap: usize,
+    /// Per-client token-bucket admission rate in requests/second
+    /// (0 = no rate limit).
+    pub client_rps: u64,
+    /// Enables the brownout controller (degrade-instead-of-shed under
+    /// load); off by default.
+    pub brownout: bool,
     /// Persistent-store path: the plan cache warm-starts from it at boot
     /// (a missing file starts fresh; a corrupt one refuses to boot) and
     /// snapshots back to it on graceful drain.
@@ -156,6 +189,10 @@ impl Default for ServeConfig {
             default_max_tuples: None,
             cache_cap: 256,
             shed_retry_ms: 50,
+            shed_retry_jitter_ms: 0,
+            client_queue_cap: 0,
+            client_rps: 0,
+            brownout: false,
             store_path: None,
         }
     }
@@ -165,10 +202,13 @@ impl Default for ServeConfig {
 struct Stats {
     requests: AtomicU64,
     shed: AtomicU64,
+    quota_shed: AtomicU64,
     handled: AtomicU64,
     decode_errors: AtomicU64,
     cache_hits: AtomicU64,
     cache_evictions: AtomicU64,
+    /// Monotone nonce feeding the shed-retry jitter hash.
+    shed_nonce: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -178,6 +218,10 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Requests shed (queue full or draining).
     pub shed: u64,
+    /// Requests shed against a *client's own* quota or rate limit.
+    pub quota_shed: u64,
+    /// Brownout escalations (upward level transitions) so far.
+    pub brownout_entered: u64,
     /// Jobs a worker ran to completion (ok or typed error).
     pub handled: u64,
     /// Request lines that failed to decode.
@@ -194,6 +238,7 @@ struct Shared {
     config: ServeConfig,
     engine: Box<dyn Engine>,
     queue: Admission,
+    brownout: BrownoutController,
     cache: PlanCache,
     stats: Stats,
     shutting_down: AtomicBool,
@@ -205,6 +250,8 @@ impl Shared {
         StatsSnapshot {
             requests: self.stats.requests.load(Ordering::Relaxed),
             shed: self.stats.shed.load(Ordering::Relaxed),
+            quota_shed: self.stats.quota_shed.load(Ordering::Relaxed),
+            brownout_entered: self.brownout.entered(),
             handled: self.stats.handled.load(Ordering::Relaxed),
             decode_errors: self.stats.decode_errors.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
@@ -256,7 +303,17 @@ impl Server {
             }
         }
         let shared = Arc::new(Shared {
-            queue: Admission::new(config.queue_cap),
+            queue: Admission::new(
+                config.queue_cap,
+                FairnessConfig {
+                    client_queue_cap: config.client_queue_cap,
+                    client_rps: config.client_rps,
+                },
+            ),
+            brownout: BrownoutController::new(BrownoutConfig {
+                enabled: config.brownout,
+                ..BrownoutConfig::default()
+            }),
             cache,
             stats: Stats::default(),
             shutting_down: AtomicBool::new(false),
@@ -361,7 +418,7 @@ fn initiate_shutdown(shared: &Arc<Shared>) {
             job.id.as_ref(),
             "shutting_down",
             "server is draining; queued request shed",
-            Some(shared.config.shed_retry_ms),
+            Some(retry_hint(shared)),
         ));
     }
     // A throwaway connection unblocks the acceptor so it can observe the
@@ -541,12 +598,47 @@ fn handle_line(shared: &Arc<Shared>, line: &str, stream: &mut TcpStream) -> Flow
     }
 }
 
+/// The splitmix64 finalizer — a tiny, dependency-free bijective hash with
+/// good avalanche, plenty for decorrelating retry hints.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The `retry_after_ms` hint for one shed response. With jitter
+/// configured, hints spread deterministically over
+/// `[shed_retry_ms, shed_retry_ms + jitter]` (hashed from a per-shed
+/// nonce) so synchronized clients don't retry as one herd; with jitter 0
+/// the hint is the fixed `shed_retry_ms`, byte-identical to before.
+fn retry_hint(shared: &Shared) -> u64 {
+    let base = shared.config.shed_retry_ms;
+    let jitter = shared.config.shed_retry_jitter_ms;
+    if jitter == 0 {
+        return base;
+    }
+    let nonce = shared.stats.shed_nonce.fetch_add(1, Ordering::Relaxed);
+    base.saturating_add(splitmix64(nonce) % (jitter + 1))
+}
+
 fn shed(shared: &Arc<Shared>, stream: &mut TcpStream, id: Option<&Json>, kind: &str, msg: &str) {
     shared.stats.shed.fetch_add(1, Ordering::Relaxed);
     mjoin_obs::incr(Counter::ServeShed, 1);
+    write_response(stream, error_line(id, kind, msg, Some(retry_hint(shared))));
+}
+
+/// Sheds a request that broke its *own* client's quota or rate limit:
+/// counted separately from global sheds (`serve.quota_shed`), because a
+/// flooding tenant hitting its cap is the fairness machinery working, not
+/// the server being overloaded — it must not trip the brownout
+/// controller's shed signal.
+fn quota_shed(shared: &Arc<Shared>, stream: &mut TcpStream, id: Option<&Json>, msg: &str) {
+    shared.stats.quota_shed.fetch_add(1, Ordering::Relaxed);
+    mjoin_obs::incr(Counter::ServeQuotaShed, 1);
     write_response(
         stream,
-        error_line(id, kind, msg, Some(shared.config.shed_retry_ms)),
+        error_line(id, "overloaded", msg, Some(retry_hint(shared))),
     );
 }
 
@@ -556,6 +648,10 @@ fn submit_and_wait(shared: &Arc<Shared>, req: Request, stream: &mut TcpStream) {
         .timeout_ms
         .or(cfg.default_timeout_ms)
         .map(|t| t.min(cfg.max_timeout_ms));
+    let client: Arc<str> = match req.client.as_deref() {
+        Some(c) => Arc::from(c),
+        None => Arc::from(ANON_CLIENT),
+    };
     let engine_req = EngineRequest {
         op: req.op.clone(),
         db: req.db,
@@ -563,6 +659,7 @@ fn submit_and_wait(shared: &Arc<Shared>, req: Request, stream: &mut TcpStream) {
         timeout_ms,
         max_memo_entries: req.max_memo_entries.or(cfg.default_max_memo_entries),
         max_tuples: req.max_tuples.or(cfg.default_max_tuples),
+        brownout: None,
     };
     if let Err(e) = failpoints::hit("serve::enqueue") {
         write_response(stream, error_line(req.id.as_ref(), "internal", &e.to_string(), None));
@@ -583,9 +680,19 @@ fn submit_and_wait(shared: &Arc<Shared>, req: Request, stream: &mut TcpStream) {
             return;
         }
     }
+    // Per-client admission (quota / token-bucket rate) happens inside
+    // `try_push`; the failpoint guards the whole check.
+    if let Err(e) = failpoints::hit("serve::admit_client") {
+        write_response(
+            stream,
+            error_line(req.id.as_ref(), kind_of(&e), &e.to_string(), None),
+        );
+        return;
+    }
     let (tx, rx) = mpsc::channel::<String>();
     let job = Job {
         id: req.id,
+        client,
         request: engine_req,
         key,
         enqueued: Instant::now(),
@@ -602,6 +709,30 @@ fn submit_and_wait(shared: &Arc<Shared>, req: Request, stream: &mut TcpStream) {
                 &format!(
                     "admission queue full ({} pending); retry after {} ms",
                     shared.config.queue_cap, shared.config.shed_retry_ms
+                ),
+            );
+            return;
+        }
+        Err((job, SubmitError::ClientQueueFull)) => {
+            quota_shed(
+                shared,
+                stream,
+                job.id.as_ref(),
+                &format!(
+                    "client {:?} is over its queue quota ({} queued); retry after {} ms",
+                    job.client, shared.config.client_queue_cap, shared.config.shed_retry_ms
+                ),
+            );
+            return;
+        }
+        Err((job, SubmitError::RateLimited)) => {
+            quota_shed(
+                shared,
+                stream,
+                job.id.as_ref(),
+                &format!(
+                    "client {:?} is over its admission rate ({} req/s); retry after {} ms",
+                    job.client, shared.config.client_rps, shared.config.shed_retry_ms
                 ),
             );
             return;
@@ -646,6 +777,17 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn run_job(shared: &Arc<Shared>, job: &mut Job) -> String {
+    if let Err(e) = failpoints::hit("serve::brownout") {
+        return error_line(job.id.as_ref(), kind_of(&e), &e.to_string(), None);
+    }
+    // One load observation per job: the controller pins the degradation
+    // entry rung this job will be served at.
+    let level = shared.brownout.observe(
+        shared.queue.depth(),
+        shared.queue.cap(),
+        shared.stats.shed.load(Ordering::Relaxed),
+    );
+    job.request.brownout = level.wire_name().map(str::to_string);
     // Deadline propagation: admission-queue wait burns the caller's
     // budget before the engine ever runs.
     let requested = job.request.timeout_ms;
@@ -665,10 +807,31 @@ fn run_job(shared: &Arc<Shared>, job: &mut Job) -> String {
     let result = catch_unwind(AssertUnwindSafe(|| shared.engine.handle(&job.request)));
     match result {
         Ok(Ok(resp)) => {
-            // Cache only answers produced under the full requested budget:
-            // a queue-delayed run may have degraded further than an
-            // unloaded one would, and must not be replayed as canonical.
-            if job.request.timeout_ms == requested {
+            if let Some(level) = &job.request.brownout {
+                // A browned-out answer is still a valid covering plan;
+                // count it under the rung that actually answered.
+                let rung = resp
+                    .extra
+                    .iter()
+                    .find_map(|(k, v)| (*k == "rung").then(|| v.as_str()).flatten());
+                let dp_class = match rung {
+                    Some(r) => matches!(r, "exhaustive" | "dp"),
+                    None => level == "reduced-dp",
+                };
+                mjoin_obs::incr(
+                    if dp_class {
+                        Counter::ServeBrownoutDpAnswers
+                    } else {
+                        Counter::ServeBrownoutGreedyAnswers
+                    },
+                    1,
+                );
+            }
+            // Cache only answers produced under the full requested budget
+            // and the full ladder: a queue-delayed or browned-out run may
+            // have degraded further than an unloaded one would, and must
+            // not be replayed as canonical.
+            if job.request.timeout_ms == requested && job.request.brownout.is_none() {
                 if let Some(key) = job.key.take() {
                     let evicted = shared.cache.insert(key, resp.clone());
                     if evicted > 0 {
@@ -698,9 +861,28 @@ fn run_job(shared: &Arc<Shared>, job: &mut Job) -> String {
 
 fn stats_json(shared: &Arc<Shared>) -> Json {
     let s = shared.snapshot();
+    let clients = Json::Obj(
+        shared
+            .queue
+            .client_snapshots()
+            .into_iter()
+            .map(|c| {
+                (
+                    c.client,
+                    Json::obj(vec![
+                        ("queued", Json::U64(c.queued)),
+                        ("admitted", Json::U64(c.admitted)),
+                        ("quota_shed", Json::U64(c.quota_shed)),
+                        ("rate_shed", Json::U64(c.rate_shed)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
     Json::obj(vec![
         ("requests", Json::U64(s.requests)),
         ("shed", Json::U64(s.shed)),
+        ("quota_shed", Json::U64(s.quota_shed)),
         ("handled", Json::U64(s.handled)),
         ("decode_errors", Json::U64(s.decode_errors)),
         ("cache_hits", Json::U64(s.cache_hits)),
@@ -709,6 +891,13 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
         ("cache_cap", Json::U64(shared.config.cache_cap as u64)),
         ("queue_depth", Json::U64(shared.queue.depth() as u64)),
         ("queue_cap", Json::U64(shared.queue.cap() as u64)),
+        ("drr_rounds", Json::U64(shared.queue.rounds())),
+        (
+            "brownout",
+            Json::Str(shared.brownout.level().stats_name().to_string()),
+        ),
+        ("brownout_entered", Json::U64(s.brownout_entered)),
+        ("clients", clients),
         ("workers", Json::U64(shared.config.workers.max(1) as u64)),
         (
             "draining",

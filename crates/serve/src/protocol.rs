@@ -12,7 +12,9 @@
 //! `db` (the database file text, required for `optimize`/`execute`),
 //! `space`, `timeout_ms`, `max_memo_entries` and `max_tuples` mirror the
 //! CLI's positional arguments and guard flags. `id` is echoed verbatim in
-//! the response so clients can pipeline.
+//! the response so clients can pipeline. The optional `client` string
+//! names the tenant for fair queuing and per-client quotas; requests
+//! without one share the `anon` tenant.
 //!
 //! Every response is one compact JSON line: either
 //! `{"id":…,"ok":true,…}` with op-specific fields, or
@@ -43,7 +45,14 @@ pub struct Request {
     pub max_memo_entries: Option<u64>,
     /// Per-request intermediate-tuple cap.
     pub max_tuples: Option<u64>,
+    /// Tenant identity for fair queuing and quotas; absent requests share
+    /// the `anon` tenant.
+    pub client: Option<String>,
 }
+
+/// Longest accepted `client` value: tenant names key per-client state, so
+/// they must stay bounded.
+pub const MAX_CLIENT_LEN: usize = 128;
 
 fn invalid(msg: impl Into<String>) -> MjoinError {
     MjoinError::InvalidScheme(msg.into())
@@ -90,6 +99,17 @@ pub fn decode_line(line: &str) -> Result<Request, MjoinError> {
         }
         None => String::new(),
     };
+    let client = match opt_str(&doc, "client")? {
+        Some(c) if c.is_empty() => {
+            return Err(invalid("field \"client\" must be a non-empty string"));
+        }
+        Some(c) if c.len() > MAX_CLIENT_LEN => {
+            return Err(invalid(format!(
+                "field \"client\" exceeds {MAX_CLIENT_LEN} bytes"
+            )));
+        }
+        c => c,
+    };
     Ok(Request {
         id: doc.get("id").cloned(),
         op,
@@ -98,6 +118,7 @@ pub fn decode_line(line: &str) -> Result<Request, MjoinError> {
         timeout_ms: opt_u64(&doc, "timeout_ms")?,
         max_memo_entries: opt_u64(&doc, "max_memo_entries")?,
         max_tuples: opt_u64(&doc, "max_tuples")?,
+        client,
     })
 }
 
@@ -204,6 +225,17 @@ mod tests {
         assert!(decode_line(r#"{"db": "x"}"#).is_err());
         assert!(decode_line(r#"{"op": "optimize", "db": 3}"#).is_err());
         assert!(decode_line(r#"{"op": "ping", "timeout_ms": "soon"}"#).is_err());
+    }
+
+    #[test]
+    fn client_field_is_validated() {
+        let r = decode_line(r#"{"op": "ping", "client": "tenant-a"}"#).unwrap();
+        assert_eq!(r.client.as_deref(), Some("tenant-a"));
+        assert_eq!(decode_line(r#"{"op": "ping"}"#).unwrap().client, None);
+        assert!(decode_line(r#"{"op": "ping", "client": ""}"#).is_err());
+        assert!(decode_line(r#"{"op": "ping", "client": 7}"#).is_err());
+        let long = format!(r#"{{"op": "ping", "client": "{}"}}"#, "x".repeat(200));
+        assert!(decode_line(&long).is_err());
     }
 
     #[test]

@@ -449,7 +449,14 @@ fn typed_engine_errors_map_onto_the_wire_vocabulary() {
 #[test]
 fn every_serve_failpoint_yields_a_typed_error_then_recovers() {
     let _serial = serialize();
-    for site in ["serve::accept", "serve::decode", "serve::enqueue", "serve::respond"] {
+    for site in [
+        "serve::accept",
+        "serve::decode",
+        "serve::enqueue",
+        "serve::admit_client",
+        "serve::brownout",
+        "serve::respond",
+    ] {
         let server = Server::spawn(config(), Box::new(EchoEngine)).unwrap();
         let addr = server.addr();
         {
@@ -528,7 +535,14 @@ fn chaos_mixed_workload_under_round_robin_failpoints() {
         // Chaos thread: arm each serve failpoint in turn while clients run.
         let chaos = s.spawn(|| {
             for _ in 0..iters {
-                for site in ["serve::accept", "serve::decode", "serve::enqueue", "serve::respond"] {
+                for site in [
+                    "serve::accept",
+                    "serve::decode",
+                    "serve::enqueue",
+                    "serve::admit_client",
+                    "serve::brownout",
+                    "serve::respond",
+                ] {
                     let _fp = ScopedFailpoint::arm(site);
                     std::thread::sleep(Duration::from_millis(5));
                 }

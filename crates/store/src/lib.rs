@@ -275,16 +275,36 @@ pub fn serialize(entries: &[StoreEntry]) -> Result<Vec<u8>, MjoinError> {
     Ok(out)
 }
 
-/// Serializes `entries` and writes them to `path` (write-to-temp +
-/// rename, so concurrent readers never observe a torn file). Returns the
-/// byte length written. Goes through the `store::save` failpoint.
+/// Serializes `entries` and writes them to `path` crash-safely:
+/// write-to-temp, fsync the temp file, atomic rename over the target,
+/// then fsync the parent directory so the rename itself is durable. A
+/// crash (or SIGKILL) at any point leaves either the old store or the new
+/// one — never a torn file. Returns the byte length written. Goes through
+/// the `store::save` failpoint.
 pub fn save(path: &Path, entries: &[StoreEntry]) -> Result<u64, MjoinError> {
     failpoints::hit("store::save")?;
     let bytes = serialize(entries)?;
     let tmp = path.with_extension("tmp");
     let io = |e: std::io::Error| corrupt(format!("writing {}: {e}", path.display()));
-    std::fs::write(&tmp, &bytes).map_err(io)?;
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp).map_err(io)?;
+        f.write_all(&bytes).map_err(io)?;
+        f.sync_all().map_err(io)?;
+    }
     std::fs::rename(&tmp, path).map_err(io)?;
+    // Durability of the rename needs the directory entry flushed too;
+    // platforms where directories can't be fsynced just skip it.
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
     Ok(bytes.len() as u64)
 }
 
@@ -801,6 +821,32 @@ mod tests {
         }
         assert!(LoadedStore::open(&path).is_ok());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_save_leaves_the_old_store_intact() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mjoin-store-crash-{}.store", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        save(&path, &[sample_entry(1)]).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        // A save killed before the rename (simulated by the failpoint, and
+        // by a stale temp file from a hypothetical earlier crash) must not
+        // disturb the committed store.
+        std::fs::write(path.with_extension("tmp"), b"torn partial write").unwrap();
+        {
+            let _fp = failpoints::ScopedFailpoint::arm("store::save");
+            assert!(save(&path, &[sample_entry(2)]).is_err());
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        let store = LoadedStore::open(&path).unwrap();
+        assert_eq!(store.entry_at(0).to_entry(), sample_entry(1));
+        // The next clean save replaces both the stale temp and the store.
+        save(&path, &[sample_entry(2)]).unwrap();
+        let store = LoadedStore::open(&path).unwrap();
+        assert_eq!(store.entry_at(0).to_entry(), sample_entry(2));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("tmp"));
     }
 
     #[test]

@@ -156,9 +156,8 @@ fn provoke(site: &str) -> MjoinError {
             drop(rec);
             mjoin::render_run_report(&report).unwrap_err()
         }
-        "serve::accept" | "serve::decode" | "serve::enqueue" | "serve::respond" => {
-            provoke_serve(site)
-        }
+        "serve::accept" | "serve::decode" | "serve::enqueue" | "serve::admit_client"
+        | "serve::brownout" | "serve::respond" => provoke_serve(site),
         // Both store failpoints fire before any filesystem access, so the
         // load path need not exist and the save run writes nothing.
         "store::load" => {
