@@ -491,6 +491,190 @@ pub fn optimize_outcome_browned(
     })
 }
 
+/// The rendered result of one `query` invocation: the lowering header
+/// (per-table filter effect, join edges) plus the plan report over the
+/// filtered sub-database.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The report text, byte-identical to the `query` command output.
+    pub text: String,
+    /// The plan's τ over the filtered database, when costed within budget.
+    pub cost: Option<u64>,
+    /// The winning plan (absent when the space was empty).
+    pub plan: Option<mjoin::Plan>,
+    /// Budgeted mode only: the degradation ladder's full result.
+    pub robust: Option<mjoin::RobustPlan>,
+}
+
+/// Builds the synthetic cardinality model for a lowered query over its
+/// sub-scheme: base cardinalities come from the declared statistics (or
+/// actual state sizes, or the 1000-tuple default), domains from declared
+/// `domain` lines (default 100) — exactly the `estimate` command's model,
+/// restricted to the selected tables. Filter selectivities are *not*
+/// folded here; call [`LoweredQuery::fold_into`](mjoin::LoweredQuery::fold_into)
+/// for the selectivity-aware model (tests compare both).
+pub fn query_synthetic_oracle(
+    input: &Input,
+    lowered: &mjoin::LoweredQuery,
+) -> Result<mjoin::SyntheticOracle, MjoinError> {
+    let src = &input.database;
+    let bases: Vec<u64> = lowered
+        .table_map
+        .iter()
+        .map(|&i| {
+            input.cards[i].unwrap_or_else(|| {
+                let t = src.state(i).tau();
+                if t > 0 {
+                    t
+                } else {
+                    1000
+                }
+            })
+        })
+        .collect();
+    let mut oracle =
+        mjoin::SyntheticOracle::try_new(lowered.database.scheme().clone(), bases, 100)?;
+    for (name, size) in &input.domains {
+        let Some(attr) = src.catalog().lookup(name) else {
+            return Err(MjoinError::InvalidScheme(format!(
+                "domain declared for unknown attribute {name:?}"
+            )));
+        };
+        oracle.try_set_domain(attr.index(), *size)?;
+    }
+    Ok(oracle)
+}
+
+/// Renders the `query` command's report: a lowering header (per-table
+/// rows before→after the pushed-down filters, the join edges), then the
+/// plan over the filtered sub-database — via the `optimize` paths when
+/// the database has rows, via the selectivity-folded synthetic model when
+/// it is statistics-only. Shared by the CLI and the serve daemon so a
+/// served query answer is byte-identical to the CLI's.
+///
+/// A pinned brownout `level` applies to the materialized path exactly as
+/// it does for `optimize`; statistics-only planning is cheap by
+/// construction and ignores it.
+pub fn query_report(
+    input: &Input,
+    lowered: &mjoin::LoweredQuery,
+    rendered: &str,
+    space: SearchSpace,
+    gopts: &GuardOptions,
+    level: BrownoutLevel,
+) -> Result<QueryOutcome, MjoinError> {
+    let has_rows = lowered.has_rows();
+    let mut out = String::new();
+    let _ = writeln!(out, "query: {rendered}");
+    let _ = writeln!(out, "tables:");
+    for (pos, name) in lowered.table_names.iter().enumerate() {
+        let filters = lowered.filter_counts[pos];
+        if !has_rows {
+            // Statistics-only input: the states are empty, so report the
+            // declared (or defaulted) cardinality the model will use.
+            let card = input.cards[lowered.table_map[pos]].unwrap_or(1000);
+            if filters == 0 {
+                let _ = writeln!(out, "  {name}: {card} tuples (declared)");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  {name}: {card} tuples (declared; {} filter{}, selectivity {:.4})",
+                    filters,
+                    if filters == 1 { "" } else { "s" },
+                    lowered.selectivities[pos]
+                );
+            }
+        } else if filters == 0 {
+            let _ = writeln!(out, "  {name}: {} tuples", lowered.base_taus[pos]);
+        } else {
+            let _ = writeln!(
+                out,
+                "  {name}: {} -> {} tuples ({} filter{}, selectivity {:.4})",
+                lowered.base_taus[pos],
+                lowered.filtered_taus[pos],
+                filters,
+                if filters == 1 { "" } else { "s" },
+                lowered.selectivities[pos]
+            );
+        }
+    }
+    if lowered.join_edges.is_empty() {
+        let _ = writeln!(out, "join edges: (none — every pair joins as a Cartesian product)");
+    } else {
+        let edges: Vec<String> = lowered
+            .join_edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}~{} on {}",
+                    lowered.table_names[e.left], lowered.table_names[e.right], e.attr
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "join edges: {}", edges.join(", "));
+    }
+    let (cost, plan, robust) = if has_rows {
+        let o = optimize_outcome_browned(&lowered.database, space, gopts, level)?;
+        out.push_str(&o.text);
+        (o.cost, o.plan, o.robust)
+    } else {
+        let mut oracle = query_synthetic_oracle(input, lowered)?;
+        lowered.fold_into(&mut oracle)?;
+        let guard = Guard::new(gopts.budget());
+        let full = lowered.database.scheme().full_set();
+        match try_optimize(&mut oracle, full, space, &guard)? {
+            Some(plan) => {
+                let _ = writeln!(
+                    out,
+                    "search space: {space:?} (synthetic cardinality model, filters folded)"
+                );
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    plan.explain(lowered.database.catalog(), &mut oracle)
+                );
+                (Some(plan.cost), Some(plan), None)
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "search space {space:?} is empty for this (unconnected) scheme"
+                );
+                (None, None, None)
+            }
+        }
+    };
+    Ok(QueryOutcome {
+        text: out,
+        cost,
+        plan,
+        robust,
+    })
+}
+
+/// Cache/store key for a `query` invocation: the optimize fingerprint of
+/// the **lowered** (filtered) database, with the search-space slot
+/// carrying both the space and the canonical rendered query. The
+/// namespace prefix guarantees a `query` entry can never collide with a
+/// plain `optimize` entry over the same filtered states — and two
+/// different queries lowering to identical states still key apart.
+pub fn query_fingerprint(
+    lowered_db: &Database,
+    rendered: &str,
+    space_raw: Option<&str>,
+    gopts: &GuardOptions,
+) -> String {
+    let ns = format!("query|{}|{rendered}", space_raw.unwrap_or(""));
+    mjoin::optimize_fingerprint(
+        lowered_db,
+        Some(&ns),
+        gopts.timeout_ms,
+        gopts.max_memo_entries,
+        gopts.max_tuples,
+        gopts.threads(),
+    )
+}
+
 /// Plans and executes under `estimation`/`config`, rendering exactly the
 /// text the `execute` command prints. Shared by the CLI and the serve
 /// daemon.
@@ -525,10 +709,12 @@ pub fn run<F>(args: &[String], read: F) -> Result<String, CliError>
 where
     F: Fn(&str) -> Result<String, String>,
 {
-    let usage = "usage: mjoin <analyze|optimize|execute|cost|conditions|compare|estimate|dot|show> <db-file> [ARGS] [FLAGS]\n\
+    let usage = "usage: mjoin <analyze|optimize|query|execute|cost|conditions|compare|estimate|dot|show> <db-file> [ARGS] [FLAGS]\n\
                  \n\
                  analyze    DB             conditions, theorems, recommended search space\n\
                  optimize   DB [SPACE]     cheapest plan (SPACE: all | linear | nocp | linear-nocp | avoid)\n\
+                 query      DB SQL [SPACE] plan a SQL-ish join query (SELECT * FROM .. WHERE ..);\n\
+                 \u{20}                         filters push below the joins; SQL may be @FILE\n\
                  execute    DB [SPACE]     run the best plan stage by stage, tracing est vs actual\n\
                  cost       DB EXPR        explain a strategy, e.g. \"(AB ⋈ BC) ⋈ CD\"\n\
                  conditions DB             per-condition verdicts with violation witnesses\n\
@@ -556,8 +742,8 @@ where
                  --brownout                degrade-instead-of-shed: pin the ladder entry rung under load\n\
                  --addr-file PATH          write the bound address here once listening\n\
                  \n\
-                 persistent store (optimize, serve):\n\
-                 --store PATH              optimize: warm-start from a matching entry, save cold runs;\n\
+                 persistent store (optimize, query, serve):\n\
+                 --store PATH              optimize/query: warm-start from a matching entry, save cold runs;\n\
                  \u{20}                         serve: warm-start the plan cache, snapshot on drain\n\
                  \n\
                  adaptive execution (execute):\n\
@@ -760,6 +946,72 @@ where
                             o.plan.as_ref().map(|p| (&p.strategy, p.cost)),
                             memo.as_ref(),
                             &taus,
+                            &o.text,
+                        );
+                        mjoin::save_optimize_entry(std::path::Path::new(store_path), entry)
+                            .map_err(|e| CliError(e.to_string()))?;
+                    }
+                }
+            }
+        }
+        "query" => {
+            let Some(raw) = args.get(2) else {
+                return err("query requires the DSL text (or @FILE) as its argument");
+            };
+            let sql_owned;
+            let sql = match raw.strip_prefix('@') {
+                Some(p) => {
+                    sql_owned = read(p).map_err(CliError)?;
+                    sql_owned.as_str()
+                }
+                None => raw.as_str(),
+            };
+            let space_raw = args.get(3).cloned();
+            let space = match &space_raw {
+                Some(s) => parse_space(s)?,
+                None => SearchSpace::All,
+            };
+            let query = mjoin::parse_query(sql).map_err(fail)?;
+            let lowered = mjoin::lower(&query, db).map_err(fail)?;
+            let rendered = query.render();
+            // Store warm-start mirrors `optimize`, keyed by the lowered
+            // (filtered) database plus the canonical query text.
+            // Statistics-only inputs are never stored: declared cards and
+            // domains live outside the hashed states, so entries for them
+            // could collide across different statistics.
+            let fp = (gopts.store.is_some() && lowered.has_rows()).then(|| {
+                query_fingerprint(&lowered.database, &rendered, space_raw.as_deref(), &gopts)
+            });
+            let mut warm: Option<String> = None;
+            if let (Some(store_path), Some(fp)) = (&gopts.store, &fp) {
+                let p = std::path::Path::new(store_path);
+                if p.exists() {
+                    let store = mjoin::LoadedStore::open(p)
+                        .map_err(|e| CliError(e.to_string()))?;
+                    warm = store.entry(fp).map(|e| e.response().to_string());
+                }
+            }
+            if let Some(response) = warm {
+                out.push_str(&response);
+            } else {
+                let o = query_report(&input, &lowered, &rendered, space, &gopts, BrownoutLevel::Normal)
+                    .map_err(fail)?;
+                out.push_str(&o.text);
+                if recorder.is_some() {
+                    if let Some(r) = &o.robust {
+                        sections.push(("degradation", mjoin::degradation_section(&r.report)));
+                    }
+                }
+                // Save the cold run; as for `optimize`, budgeted (ladder)
+                // responses are not persisted.
+                if let (Some(store_path), Some(fp)) = (&gopts.store, fp) {
+                    if o.robust.is_none() {
+                        let entry = mjoin::entry_from_optimize(
+                            fp,
+                            lowered.database.scheme().full_set(),
+                            o.plan.as_ref().map(|p| (&p.strategy, p.cost)),
+                            None,
+                            &[],
                             &o.text,
                         );
                         mjoin::save_optimize_entry(std::path::Path::new(store_path), entry)

@@ -11,8 +11,8 @@ use mjoin_obs::Json;
 use mjoin_serve::{Engine, EngineRequest, EngineResponse, ServeConfig, Server};
 
 use crate::{
-    execute_report, optimize_outcome_browned, parse_input, parse_space, CliError, GuardOptions,
-    Input,
+    execute_report, optimize_outcome_browned, parse_input, parse_space, query_fingerprint,
+    query_report, CliError, GuardOptions, Input,
 };
 
 /// The real optimizer engine behind `mjoin serve`.
@@ -74,6 +74,31 @@ impl Engine for MjoinEngine {
                     extra,
                 })
             }
+            "query" => {
+                let sql = req.query.as_deref().ok_or_else(|| {
+                    MjoinError::InvalidQuery("op \"query\" needs a \"query\" field".into())
+                })?;
+                let query = mjoin::parse_query(sql)?;
+                let lowered = mjoin::lower(&query, db)?;
+                let rendered = query.render();
+                let o = query_report(&input, &lowered, &rendered, space, &gopts, level)?;
+                let mut extra: Vec<(&'static str, Json)> = vec![
+                    ("cost", o.cost.map(Json::U64).unwrap_or(Json::Null)),
+                    ("join_edges", Json::U64(lowered.join_edges.len() as u64)),
+                    ("filters", Json::U64(lowered.total_filters() as u64)),
+                ];
+                if let Some(r) = &o.robust {
+                    extra.push(("rung", Json::Str(r.report.answered_by.to_string())));
+                    extra.push(("optimal", Json::Bool(r.report.optimal)));
+                }
+                if level != BrownoutLevel::Normal {
+                    extra.push(("brownout", Json::Str(level.name().to_string())));
+                }
+                Ok(EngineResponse {
+                    output: o.text,
+                    extra,
+                })
+            }
             "execute" => {
                 let config = mjoin_adaptive::AdaptiveConfig {
                     space,
@@ -104,18 +129,39 @@ impl Engine for MjoinEngine {
     /// `--store` path writes, so a store written by CLI cold runs warms
     /// the daemon's cache and a drained daemon's snapshot warms the CLI.
     fn fingerprint(&self, req: &EngineRequest) -> Option<String> {
-        if req.op != "optimize" {
-            return None;
+        match req.op.as_str() {
+            "optimize" => {
+                let input = parse_input(&req.db).ok()?;
+                Some(mjoin::optimize_fingerprint(
+                    &input.database,
+                    req.space.as_deref(),
+                    req.timeout_ms,
+                    req.max_memo_entries,
+                    req.max_tuples,
+                    self.threads,
+                ))
+            }
+            // `query` keys by the lowered (filtered) database plus the
+            // canonical rendered query — the same key the CLI `--store`
+            // path writes (see [`query_fingerprint`]). Statistics-only
+            // inputs bypass the cache: declared cards/domains live
+            // outside the hashed states.
+            "query" => {
+                let input = parse_input(&req.db).ok()?;
+                let query = mjoin::parse_query(req.query.as_deref()?).ok()?;
+                let lowered = mjoin::lower(&query, &input.database).ok()?;
+                if !lowered.has_rows() {
+                    return None;
+                }
+                Some(query_fingerprint(
+                    &lowered.database,
+                    &query.render(),
+                    req.space.as_deref(),
+                    &self.guard_options(req),
+                ))
+            }
+            _ => None,
         }
-        let input = parse_input(&req.db).ok()?;
-        Some(mjoin::optimize_fingerprint(
-            &input.database,
-            req.space.as_deref(),
-            req.timeout_ms,
-            req.max_memo_entries,
-            req.max_tuples,
-            self.threads,
-        ))
     }
 }
 

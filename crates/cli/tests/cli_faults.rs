@@ -58,6 +58,8 @@ fn every_site_is_reachable_from_the_cli() {
         // injected run leaves nothing on disk.
         ("store::load", &["store", "inspect", "no-such.store"]),
         ("store::save", &["optimize", "db", "--store", "/tmp/mjoin-cli-faults-never-written.store"]),
+        ("query::parse", &["query", "db", "SELECT * FROM AB, BC WHERE AB.B = BC.B"]),
+        ("query::lower", &["query", "db", "SELECT * FROM AB, BC WHERE AB.B = BC.B"]),
     ];
     let routed: Vec<&str> = routes.iter().map(|(s, _)| *s).collect();
     for site in mjoin::failpoints::SITES {

@@ -283,6 +283,7 @@ fn browned_requests_get_valid_plans_from_the_pinned_rung() {
     let req = |level: Option<&str>| EngineRequest {
         op: "optimize".to_string(),
         db: DB.to_string(),
+        query: None,
         space: None,
         timeout_ms: Some(60_000),
         max_memo_entries: None,

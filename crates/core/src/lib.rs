@@ -72,6 +72,7 @@ pub use theorems::{lemma1_check, lemma4_conclusion, lemma5_check, lemma6_check, 
 pub use mjoin_cost::{CardinalityOracle, Database, ExactOracle, NoisyOracle, SharedHandle, SharedOracle, SyncCardinalityOracle, SyntheticOracle};
 pub use mjoin_guard::{failpoints, Budget, CancelToken, Guard, MjoinError, Resource};
 pub use mjoin_hypergraph::{Acyclicity, DbScheme, JoinTree, RelSet};
+pub use mjoin_query::{lower, parse_query, JoinEdge, LoweredQuery, Query};
 pub use mjoin_optimizer::{best_bottleneck, best_monotone, bottleneck_of, exists_monotone, ikkbz, optimize, optimize_with, plan_from_memo, try_best_avoid_cartesian_parallel, try_best_no_cartesian_ccp_with_memo, try_best_no_cartesian_parallel, try_greedy_bushy, try_greedy_linear, try_ikkbz, try_optimize, try_optimize_with, DpAlgorithm, DpMemoExport, Monotonicity, Plan, SearchSpace};
 pub use mjoin_relation::{AttrSet, Attribute, Catalog, Relation, Value};
 pub use mjoin_store::{fingerprint128, LoadedStore, StoreEntry};

@@ -282,6 +282,13 @@ pub struct SyntheticOracle {
     /// get `ln_default_domain`.
     ln_domains: FastMap<usize, f64>,
     ln_default_domain: f64,
+    /// `ln sel_i` per relation — the folded filter selectivity (≤ 0; 0
+    /// means no filter). Entering every subset estimate as one precomputed
+    /// addition keeps the hot loop pure additions, and because `estimate`
+    /// multiplies base cardinalities before applying domain divisors, a
+    /// folded selectivity scales every subset the relation takes part in —
+    /// exactly the System-R "filtered cardinality" semantics.
+    ln_selectivity: Vec<f64>,
     /// Relations whose *state* is genuinely empty. Any subset touching one
     /// joins to `φ`, so the estimate short-circuits to 0 there instead of
     /// reporting the model's ≥ 1 floor.
@@ -322,11 +329,13 @@ impl SyntheticOracle {
         if default_domain == 0 {
             return Err(MjoinError::InvalidScheme("domains must be ≥ 1".into()));
         }
+        let n = base.len();
         Ok(SyntheticOracle {
             scheme,
             ln_base: base.iter().map(|&b| (b as f64).ln()).collect(),
             ln_domains: FastMap::default(),
             ln_default_domain: (default_domain as f64).ln(),
+            ln_selectivity: vec![0.0; n],
             empty: RelSet::empty(),
         })
     }
@@ -349,6 +358,48 @@ impl SyntheticOracle {
         }
         self.ln_domains.insert(attr_index, (size as f64).ln());
         Ok(())
+    }
+
+    /// Folds a filter selectivity into one relation's base cardinality:
+    /// every subset containing the relation is estimated as if the
+    /// relation held `nᵢ · selectivity` tuples. This is how the query
+    /// front end makes pushed-down selections visible to a statistics-only
+    /// model — DPccp, greedy and the robust ladder then cost *filtered*
+    /// cardinalities instead of base ones.
+    ///
+    /// Folding is multiplicative: calling this twice for the same relation
+    /// compounds the selectivities. A selectivity of exactly 0 records the
+    /// relation as empty (any subset touching it estimates 0).
+    pub fn try_set_selectivity(
+        &mut self,
+        relation: usize,
+        selectivity: f64,
+    ) -> Result<(), MjoinError> {
+        if relation >= self.scheme.len() {
+            return Err(MjoinError::InvalidScheme(format!(
+                "selectivity for relation {relation} of {}",
+                self.scheme.len()
+            )));
+        }
+        if !selectivity.is_finite() || !(0.0..=1.0).contains(&selectivity) {
+            return Err(MjoinError::InvalidScheme(format!(
+                "filter selectivity must lie in [0, 1], got {selectivity}"
+            )));
+        }
+        if selectivity == 0.0 {
+            self.empty.insert(relation);
+        } else {
+            self.ln_selectivity[relation] += selectivity.ln();
+        }
+        Ok(())
+    }
+
+    /// The folded filter selectivity of one relation (1.0 when no filter
+    /// has been folded).
+    pub fn selectivity(&self, relation: usize) -> f64 {
+        self.ln_selectivity
+            .get(relation)
+            .map_or(1.0, |&ln| ln.exp())
     }
 
     /// The relations recorded as genuinely empty (state `φ`); subsets
@@ -426,7 +477,7 @@ impl SyntheticOracle {
         // connected subset of every DP, so no allocation is allowed here.
         let mut log_size = 0.0f64;
         for i in subset.iter() {
-            log_size += self.ln_base[i];
+            log_size += self.ln_base[i] + self.ln_selectivity[i];
         }
         let mut counts = [0u16; MAX_ATTRS];
         for i in subset.iter() {
@@ -616,6 +667,31 @@ mod tests {
         assert_eq!(o.tau(RelSet::full(2)), 1000);
         o.set_domain(b_index, 100);
         assert_eq!(o.tau(RelSet::full(2)), 100);
+    }
+
+    #[test]
+    fn synthetic_oracle_folds_filter_selectivities() {
+        let mut cat = Catalog::new();
+        let scheme = DbScheme::parse(&mut cat, &["AB", "BC", "DE"]).unwrap();
+        let mut o = SyntheticOracle::new(scheme, vec![100, 50, 10], 20);
+        o.try_set_selectivity(0, 0.1).unwrap();
+        // AB is now effectively 10 tuples: singleton and join shrink alike.
+        assert_eq!(o.tau(RelSet::singleton(0)), 10);
+        assert_eq!(o.tau(RelSet::from_indices([0, 1])), 25);
+        assert!((o.selectivity(0) - 0.1).abs() < 1e-12);
+        assert!((o.selectivity(1) - 1.0).abs() < 1e-12);
+        // Folding compounds multiplicatively.
+        o.try_set_selectivity(0, 0.5).unwrap();
+        assert_eq!(o.tau(RelSet::singleton(0)), 5);
+        // Selectivity 0 marks the relation empty: touching subsets → 0.
+        o.try_set_selectivity(1, 0.0).unwrap();
+        assert_eq!(o.tau(RelSet::from_indices([0, 1])), 0);
+        assert_eq!(o.tau(RelSet::singleton(2)), 10);
+        // Out-of-range inputs are typed errors, never NaN poisoning.
+        assert!(o.try_set_selectivity(9, 0.5).is_err());
+        assert!(o.try_set_selectivity(2, -0.1).is_err());
+        assert!(o.try_set_selectivity(2, 1.5).is_err());
+        assert!(o.try_set_selectivity(2, f64::NAN).is_err());
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub const SITES: &[&str] = &[
     "serve::brownout",
     "store::load",
     "store::save",
+    "query::parse",
+    "query::lower",
 ];
 
 /// One-line operator-facing description per registered site, in [`SITES`]
@@ -66,6 +68,8 @@ pub const SITE_DOCS: &[(&str, &str)] = &[
     ("serve::brownout", "serve daemon: brownout controller consult"),
     ("store::load", "persistent store: open/validate path"),
     ("store::save", "persistent store: serialize/write path"),
+    ("query::parse", "query front end: DSL text parse"),
+    ("query::lower", "query front end: lowering onto the database"),
 ];
 
 static ANY_ARMED: AtomicBool = AtomicBool::new(false);

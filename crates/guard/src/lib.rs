@@ -83,6 +83,11 @@ pub enum MjoinError {
     /// not be read/written. Truncated and corrupted files must surface
     /// here, never as UB or a panic.
     CorruptStore(String),
+    /// A query-DSL text failed to parse, or a well-formed query could not
+    /// be lowered onto the database it was issued against (unknown table,
+    /// unknown column, unsupported predicate shape). Malformed query input
+    /// must surface here — never as a panic and never as `Internal`.
+    InvalidQuery(String),
 }
 
 impl std::fmt::Display for MjoinError {
@@ -95,6 +100,7 @@ impl std::fmt::Display for MjoinError {
             MjoinError::InvalidScheme(msg) => write!(f, "invalid scheme: {msg}"),
             MjoinError::Internal(msg) => write!(f, "internal error: {msg}"),
             MjoinError::CorruptStore(msg) => write!(f, "corrupt store: {msg}"),
+            MjoinError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
         }
     }
 }

@@ -124,11 +124,17 @@ pub enum Counter {
     /// Bytes mapped by successful zero-copy store loads (0 when the
     /// buffered fallback path served the load).
     StoreBytesMapped,
+    /// DSL queries parsed successfully by the query front end.
+    QueryParsed,
+    /// Join-edge predicates resolved during query lowering.
+    QueryJoinEdges,
+    /// Filter predicates pushed below the joins during query lowering.
+    QueryFiltersPushed,
 }
 
 /// All counters, in registry order. `Counter::ALL.len()` sizes the array.
 impl Counter {
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 35] = [
         Counter::OracleMemoHits,
         Counter::OracleSubsetsMaterialized,
         Counter::OracleSharedHits,
@@ -161,6 +167,9 @@ impl Counter {
         Counter::StoreHits,
         Counter::StoreLoads,
         Counter::StoreBytesMapped,
+        Counter::QueryParsed,
+        Counter::QueryJoinEdges,
+        Counter::QueryFiltersPushed,
     ];
 
     /// Stable dotted name used as the JSON key and table row label.
@@ -200,6 +209,9 @@ impl Counter {
             Counter::StoreHits => "store.hits",
             Counter::StoreLoads => "store.loads",
             Counter::StoreBytesMapped => "store.bytes_mapped",
+            Counter::QueryParsed => "query.parsed",
+            Counter::QueryJoinEdges => "query.join_edges",
+            Counter::QueryFiltersPushed => "query.filters_pushed",
         }
     }
 }

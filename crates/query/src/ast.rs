@@ -1,0 +1,168 @@
+//! The query AST and its canonical rendering.
+//!
+//! [`Query::render`] emits the canonical text form — uppercase keywords,
+//! one space between tokens, `!=` for inequality — and the parser accepts
+//! exactly the language it emits (plus whitespace, comments, case
+//! variations and `<>`), so `parse(render(q)) == q` holds structurally.
+//! The property suite pins that round trip.
+
+use std::fmt;
+
+/// A comparison operator of the DSL.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` (also accepted as `<>`)
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Does `ordering` satisfy this operator?
+    pub fn matches(self, ordering: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ordering),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less | Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less | Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater | Equal)
+        )
+    }
+
+    /// The operator with its operands swapped (`a op b` ⇔ `b op.flip() a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A `table.column` reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColRef {
+    /// The table identifier as written (a relation's rendered scheme).
+    pub table: String,
+    /// The column (attribute) name.
+    pub column: String,
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// A literal constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Scalar {
+    /// An integer literal.
+    Int(i64),
+    /// A single-quoted string literal (no quote or newline inside).
+    Str(String),
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int(i) => write!(f, "{i}"),
+            Scalar::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// One side of a comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// A column reference.
+    Col(ColRef),
+    /// A constant.
+    Lit(Scalar),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Col(c) => c.fmt(f),
+            Operand::Lit(v) => v.fmt(f),
+        }
+    }
+}
+
+/// One WHERE conjunct, exactly as written. Classification into filter vs
+/// join edge happens at lowering time, by the set of tables the two
+/// operands depend on — not by syntactic shape (`T.A = T.B` is a filter
+/// even though both sides are columns).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Predicate {
+    /// Left operand.
+    pub left: Operand,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Operand,
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A parsed query: the FROM tables in source order, plus the WHERE
+/// conjuncts in source order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// FROM-clause table identifiers, in source order.
+    pub tables: Vec<String>,
+    /// WHERE-clause conjuncts, in source order (empty for no WHERE).
+    pub predicates: Vec<Predicate>,
+}
+
+impl Query {
+    /// The canonical text form; [`parse_query`](crate::parse_query) of
+    /// this string yields a structurally equal query.
+    pub fn render(&self) -> String {
+        let mut out = String::from("SELECT * FROM ");
+        out.push_str(&self.tables.join(", "));
+        for (i, p) in self.predicates.iter().enumerate() {
+            out.push_str(if i == 0 { " WHERE " } else { " AND " });
+            out.push_str(&p.to_string());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}

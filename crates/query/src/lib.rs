@@ -1,0 +1,71 @@
+//! The query front end: a SQL-ish join DSL over mjoin databases.
+//!
+//! Every optimizer in the workspace consumes a [`DbScheme`] hypergraph —
+//! until this crate, always hand-built or generated, with filter
+//! selectivity invisible to costing. This crate opens the workload space:
+//! it parses a small SQL-ish query language, classifies its predicates by
+//! table dependency, pushes selections below the joins, and folds the
+//! resulting per-relation filter selectivities into the synthetic
+//! cardinality model — so DPccp, greedy and the robust ladder cost
+//! *filtered* cardinalities instead of base ones, and star-schema queries
+//! get the dimension-first plans a Selinger-style optimizer would pick.
+//!
+//! # The DSL
+//!
+//! ```text
+//! -- comments run to end of line
+//! SELECT * FROM ABC, AU, CW
+//! WHERE ABC.A = AU.A      -- join predicate (two tables, same attribute)
+//!   AND ABC.C = CW.C
+//!   AND CW.W = 7          -- constant filter (one table): pushed down
+//!   AND AU.U <> 'retired'
+//! ```
+//!
+//! Grammar (keywords case-insensitive, `--` comments, optional final `;`):
+//!
+//! ```text
+//! query   := SELECT '*' FROM table (',' table)* [WHERE pred (AND pred)*] [';']
+//! table   := identifier            (a relation's rendered scheme, e.g. "ABC")
+//! pred    := operand op operand
+//! operand := table '.' column | integer | 'string'
+//! op      := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//! ```
+//!
+//! # Classification, pushdown, folding
+//!
+//! Predicates are classified by the set of tables they depend on:
+//!
+//! * **two tables** — must be an equality between occurrences of the
+//!   *same* attribute (mjoin joins are natural joins; renaming is out of
+//!   scope). These witness edges of the lowered hypergraph.
+//! * **one table** — a filter (column vs constant, or two columns of the
+//!   same table). Filters are pushed below every join: [`lower`] applies
+//!   them to the base relation states, so exact-oracle planning and
+//!   execution see the filtered data.
+//! * **zero tables** — constant vs constant: rejected.
+//!
+//! Each table's filter selectivity (actual `filtered/base` when the state
+//! has rows, a System-R heuristic when only statistics were declared) is
+//! exposed for folding into [`SyntheticOracle`] via
+//! [`LoweredQuery::fold_into`], making pushed-down selections visible to
+//! statistics-only costing too.
+//!
+//! Every malformed input — lexical, syntactic, or a query that does not
+//! fit the database it is issued against — surfaces as
+//! [`MjoinError::InvalidQuery`], never a panic; the property/fuzz suite
+//! proves this over byte-level mutations.
+//!
+//! [`DbScheme`]: mjoin_hypergraph::DbScheme
+//! [`SyntheticOracle`]: mjoin_cost::SyntheticOracle
+//! [`MjoinError::InvalidQuery`]: mjoin_guard::MjoinError::InvalidQuery
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod lower;
+mod parse;
+
+pub use ast::{CmpOp, ColRef, Operand, Predicate, Query, Scalar};
+pub use lower::{lower, JoinEdge, LoweredQuery};
+pub use parse::parse_query;

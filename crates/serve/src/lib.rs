@@ -82,10 +82,12 @@ const WORKER_GRACE_MS: u64 = 10_000;
 /// thread it into its `Budget`/`Guard` machinery.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineRequest {
-    /// `optimize` or `execute`.
+    /// `optimize`, `execute` or `query`.
     pub op: String,
     /// Database file text, in the CLI's input format.
     pub db: String,
+    /// Query-DSL text (present only for the `query` op).
+    pub query: Option<String>,
     /// Search-space name (`all`, `linear`, `nocp`, `linear-nocp`, `avoid`).
     pub space: Option<String>,
     /// Remaining wall-clock budget in milliseconds (`None` = unlimited).
@@ -577,7 +579,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, stream: &mut TcpStream) -> Flow
             initiate_shutdown(shared);
             Flow::Close
         }
-        "optimize" | "execute" => {
+        "optimize" | "execute" | "query" => {
             submit_and_wait(shared, req, stream);
             Flow::Continue
         }
@@ -588,7 +590,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, stream: &mut TcpStream) -> Flow
                     req.id.as_ref(),
                     "invalid_request",
                     &format!(
-                        "unknown op {other:?} (expected optimize | execute | ping | stats | shutdown)"
+                        "unknown op {other:?} (expected optimize | execute | query | ping | stats | shutdown)"
                     ),
                     None,
                 ),
@@ -655,6 +657,7 @@ fn submit_and_wait(shared: &Arc<Shared>, req: Request, stream: &mut TcpStream) {
     let engine_req = EngineRequest {
         op: req.op.clone(),
         db: req.db,
+        query: req.query,
         space: req.space,
         timeout_ms,
         max_memo_entries: req.max_memo_entries.or(cfg.default_max_memo_entries),

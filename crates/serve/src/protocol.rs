@@ -8,10 +8,11 @@
 //!  "space": "all", "timeout_ms": 250}
 //! ```
 //!
-//! `op` is one of `optimize`, `execute`, `ping`, `stats`, `shutdown`.
-//! `db` (the database file text, required for `optimize`/`execute`),
-//! `space`, `timeout_ms`, `max_memo_entries` and `max_tuples` mirror the
-//! CLI's positional arguments and guard flags. `id` is echoed verbatim in
+//! `op` is one of `optimize`, `execute`, `query`, `ping`, `stats`,
+//! `shutdown`. `db` (the database file text, required for
+//! `optimize`/`execute`/`query`), `query` (the DSL text, required for
+//! `query`), `space`, `timeout_ms`, `max_memo_entries` and `max_tuples`
+//! mirror the CLI's positional arguments and guard flags. `id` is echoed verbatim in
 //! the response so clients can pipeline. The optional `client` string
 //! names the tenant for fair queuing and per-client quotas; requests
 //! without one share the `anon` tenant.
@@ -33,10 +34,13 @@ use crate::EngineResponse;
 pub struct Request {
     /// Client-chosen correlation value, echoed in the response.
     pub id: Option<Json>,
-    /// The operation: `optimize`, `execute`, `ping`, `stats`, `shutdown`.
+    /// The operation: `optimize`, `execute`, `query`, `ping`, `stats`,
+    /// `shutdown`.
     pub op: String,
     /// Database file text (the CLI's input format).
     pub db: String,
+    /// Query-DSL text (required for the `query` op, absent otherwise).
+    pub query: Option<String>,
     /// Search-space name, as the CLI accepts it (`all`, `nocp`, …).
     pub space: Option<String>,
     /// Per-request wall-clock deadline in milliseconds.
@@ -94,10 +98,16 @@ pub fn decode_line(line: &str) -> Result<Request, MjoinError> {
         .to_string();
     let db = match opt_str(&doc, "db")? {
         Some(s) => s,
-        None if matches!(op.as_str(), "optimize" | "execute") => {
+        None if matches!(op.as_str(), "optimize" | "execute" | "query") => {
             return Err(invalid(format!("op {op:?} needs a string \"db\" field")));
         }
         None => String::new(),
+    };
+    let query = match opt_str(&doc, "query")? {
+        None if op == "query" => {
+            return Err(invalid("op \"query\" needs a string \"query\" field"));
+        }
+        q => q,
     };
     let client = match opt_str(&doc, "client")? {
         Some(c) if c.is_empty() => {
@@ -114,6 +124,7 @@ pub fn decode_line(line: &str) -> Result<Request, MjoinError> {
         id: doc.get("id").cloned(),
         op,
         db,
+        query,
         space: opt_str(&doc, "space")?,
         timeout_ms: opt_u64(&doc, "timeout_ms")?,
         max_memo_entries: opt_u64(&doc, "max_memo_entries")?,
@@ -186,6 +197,9 @@ pub fn kind_of(e: &MjoinError) -> &'static str {
         MjoinError::BudgetExceeded { .. } => "budget_exceeded",
         MjoinError::Cancelled => "cancelled",
         MjoinError::InvalidScheme(_) => "invalid_request",
+        // A query that fails to parse or lower is the client's input, not
+        // a server fault.
+        MjoinError::InvalidQuery(_) => "invalid_request",
         MjoinError::Internal(_) => "internal",
         // A corrupt persistent store is a server-side condition, never the
         // client's request.
@@ -216,6 +230,21 @@ mod tests {
         assert!(decode_line(r#"{"op": "stats"}"#).is_ok());
         let e = decode_line(r#"{"op": "optimize"}"#).unwrap_err();
         assert!(e.to_string().contains("db"), "{e}");
+    }
+
+    #[test]
+    fn query_op_needs_db_and_query() {
+        let r = decode_line(
+            r#"{"op": "query", "db": "relation AB\n", "query": "SELECT * FROM AB"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.op, "query");
+        assert_eq!(r.query.as_deref(), Some("SELECT * FROM AB"));
+        let e = decode_line(r#"{"op": "query", "db": "relation AB\n"}"#).unwrap_err();
+        assert!(e.to_string().contains("query"), "{e}");
+        let e = decode_line(r#"{"op": "query", "query": "SELECT * FROM AB"}"#).unwrap_err();
+        assert!(e.to_string().contains("db"), "{e}");
+        assert_eq!(decode_line(r#"{"op": "ping"}"#).unwrap().query, None);
     }
 
     #[test]

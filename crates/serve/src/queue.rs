@@ -376,6 +376,7 @@ mod tests {
                 request: EngineRequest {
                     op: "optimize".to_string(),
                     db: String::new(),
+                    query: None,
                     space: None,
                     timeout_ms: None,
                     max_memo_entries: None,

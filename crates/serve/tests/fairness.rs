@@ -271,6 +271,7 @@ fn queued_job(client: &str) -> (Job, std::sync::mpsc::Receiver<String>) {
             request: EngineRequest {
                 op: "optimize".to_string(),
                 db: String::new(),
+                query: None,
                 space: None,
                 timeout_ms: None,
                 max_memo_entries: None,

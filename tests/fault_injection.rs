@@ -175,6 +175,14 @@ fn provoke(site: &str) -> MjoinError {
             )
             .unwrap_err()
         }
+        // Both query failpoints fire before any parsing/lowering work, so
+        // a perfectly valid query surfaces the injected fault.
+        "query::parse" => mjoin::parse_query("SELECT * FROM GS, SC WHERE GS.S = SC.S")
+            .unwrap_err(),
+        "query::lower" => {
+            let q = mjoin::parse_query("SELECT * FROM GS, SC WHERE GS.S = SC.S").unwrap();
+            mjoin::lower(&q, &db).unwrap_err()
+        }
         other => panic!("unmapped failpoint site {other}: extend this test"),
     }
 }

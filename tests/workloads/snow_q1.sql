@@ -1,0 +1,7 @@
+-- db: tests/workloads/snowflake.mj
+-- Full snowflake with a string-equality filter on the leaf sub-dimension.
+SELECT * FROM ABM, AD, DG, BE
+WHERE ABM.A = AD.A
+  AND AD.D = DG.D
+  AND ABM.B = BE.B
+  AND DG.G = 'gx'

@@ -1,0 +1,6 @@
+-- db: tests/workloads/snowflake.mj
+-- The fact->dim->sub-dim chain with a fact range filter.
+SELECT * FROM ABM, AD, DG
+WHERE ABM.A = AD.A
+  AND AD.D = DG.D
+  AND ABM.M >= 12 AND ABM.M < 20

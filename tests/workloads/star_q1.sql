@@ -1,0 +1,8 @@
+-- db: tests/workloads/star.mj
+-- Full star with one dimension filter: the planner must join the
+-- filtered CW (30 -> 3 tuples) before the unfiltered dimensions.
+SELECT * FROM ABCF, AU, BV, CW
+WHERE ABCF.A = AU.A
+  AND ABCF.B = BV.B
+  AND ABCF.C = CW.C
+  AND CW.W < 303

@@ -1,0 +1,8 @@
+-- db: tests/workloads/star.mj
+-- Two-dimension subset with a dimension range filter and an
+-- intra-fact column filter (A = B is a single-table predicate).
+SELECT * FROM ABCF, AU, BV
+WHERE ABCF.A = AU.A
+  AND ABCF.B = BV.B
+  AND AU.U >= 103
+  AND ABCF.A = ABCF.B

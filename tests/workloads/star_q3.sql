@@ -1,0 +1,4 @@
+-- db: tests/workloads/star.mj
+-- The pure star join, no filters: baseline plan shape.
+SELECT * FROM ABCF, AU, BV, CW
+WHERE ABCF.A = AU.A AND ABCF.B = BV.B AND ABCF.C = CW.C

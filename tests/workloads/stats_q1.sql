@@ -1,0 +1,8 @@
+-- db: tests/workloads/star_stats.mj
+-- The selectivity-aware acceptance query: the CW equality filter must
+-- pull CW ahead of AU in the estimated-cost join order.
+SELECT * FROM ABC, AU, BV, CW
+WHERE ABC.A = AU.A
+  AND ABC.B = BV.B
+  AND ABC.C = CW.C
+  AND CW.W = 7

@@ -1,0 +1,7 @@
+-- db: tests/workloads/star_stats.mj
+-- Three-table variant: one strong equality filter, one weak inequality.
+SELECT * FROM ABC, AU, CW
+WHERE ABC.A = AU.A
+  AND ABC.C = CW.C
+  AND CW.W = 7
+  AND AU.U != 3
