@@ -78,7 +78,8 @@ fn measure(n: usize) -> Json {
         Some(&memo),
         &[],
         &format!("bench plan, clique n={n}\n"),
-    );
+    )
+    .expect("bench cliques fit the store's 64-bit format");
     let path = store_path(n);
     let _ = std::fs::remove_file(&path);
     let (save_bytes, save_secs) = timed(1, || {
@@ -144,7 +145,8 @@ fn bench_store_load(c: &mut Criterion) {
             Some(&memo),
             &[],
             "criterion\n",
-        );
+        )
+        .expect("bench cliques fit the store's 64-bit format");
         let path = store_path(n);
         let _ = std::fs::remove_file(&path);
         mjoin::save_optimize_entry(&path, entry).expect("save criterion store");

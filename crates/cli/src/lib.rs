@@ -947,7 +947,8 @@ where
                             memo.as_ref(),
                             &taus,
                             &o.text,
-                        );
+                        )
+                        .map_err(|e| CliError(e.to_string()))?;
                         mjoin::save_optimize_entry(std::path::Path::new(store_path), entry)
                             .map_err(|e| CliError(e.to_string()))?;
                     }
@@ -1013,7 +1014,8 @@ where
                             None,
                             &[],
                             &o.text,
-                        );
+                        )
+                        .map_err(|e| CliError(e.to_string()))?;
                         mjoin::save_optimize_entry(std::path::Path::new(store_path), entry)
                             .map_err(|e| CliError(e.to_string()))?;
                     }
@@ -1212,6 +1214,14 @@ where
             report(
                 "ikkbz (tree queries)",
                 mjoin_optimizer::try_ikkbz(&mut oracle, full, &guard).map_err(fail)?,
+            );
+            report(
+                "linearized dp",
+                mjoin_optimizer::try_lindp(&mut oracle, full, &guard).map_err(fail)?,
+            );
+            report(
+                "partitioned dpccp",
+                mjoin_optimizer::try_partitioned_dp(&mut oracle, full, &guard).map_err(fail)?,
             );
             report(
                 "greedy bushy",
@@ -1572,6 +1582,8 @@ Lang22 Chomsky
             "exhaustive (all)",
             "linear no-cartesian",
             "avoid-cartesian",
+            "linearized dp",
+            "partitioned dpccp",
             "greedy bushy",
             "min-bottleneck",
         ] {

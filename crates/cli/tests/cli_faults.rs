@@ -46,6 +46,8 @@ fn every_site_is_reachable_from_the_cli() {
         ("optimizer::dp", &["optimize", "db"]),
         ("optimizer::greedy", &["compare", "db"]),
         ("optimizer::ikkbz", &["compare", "db"]),
+        ("optimizer::lindp", &["compare", "db"]),
+        ("optimizer::partdp", &["compare", "db"]),
         ("optimizer::exhaustive", &["optimize", "db", "--timeout-ms", "10000"]),
         ("core::ladder", &["optimize", "db", "--timeout-ms", "10000"]),
         ("semijoin::reduce", &["reduce", "db"]),

@@ -76,6 +76,42 @@ fn golden_outputs_are_byte_identical() {
     }
 }
 
+/// The large-query rungs are invisible on the paper's examples: with a
+/// plain (unlimited) budget the ladder answers every example at `Dp` or
+/// above, so `LinDp` and `PartitionedDp` never fire — and the golden
+/// snapshots above therefore cannot have moved. A regression here means
+/// the ladder's entry point or rung ordering changed for small queries.
+#[test]
+fn new_rungs_never_fire_on_the_paper_examples() {
+    use mjoin::{optimize_database_robust, Budget, Rung, SearchSpace};
+    for file in [
+        "examples/example1.mj",
+        "examples/example2.mj",
+        "examples/example3.mj",
+        "examples/example4.mj",
+        "examples/example5.mj",
+    ] {
+        let text = fs::read_to_string(repo_path(file)).expect("example file readable");
+        let parsed = mjoin_cli::parse_input(&text).expect("example file parses");
+        let r = optimize_database_robust(&parsed.database, SearchSpace::All, Budget::unlimited(), None)
+            .expect("paper examples always plan");
+        assert!(
+            !matches!(r.report.answered_by, Rung::LinDp | Rung::PartitionedDp),
+            "{file}: a large-query rung answered a {}-relation example\n{}",
+            parsed.database.len(),
+            r.report
+        );
+        assert!(
+            r.report
+                .attempts
+                .iter()
+                .all(|a| !matches!(a.rung, Rung::LinDp | Rung::PartitionedDp)),
+            "{file}: a large-query rung was attempted before the answer\n{}",
+            r.report
+        );
+    }
+}
+
 /// The committed `.mj` transcriptions agree with the canonical in-crate
 /// databases (`mjoin_gen::data::paper_example*`): same per-relation sizes
 /// and the same full-join result, so the goldens really do cover the

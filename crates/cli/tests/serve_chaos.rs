@@ -198,7 +198,7 @@ fn chaos_soak_with_the_real_engine() {
             let malformed_lines = &malformed_lines;
             clients.push(s.spawn(move || {
                 for i in 0..iters {
-                    let line = match (c + i) % 5 {
+                    let line = match (c + i) % 6 {
                         // Valid optimize over the real database; vary the
                         // budget so both engine paths get exercised.
                         0 => req_line(vec![
@@ -212,10 +212,25 @@ fn chaos_soak_with_the_real_engine() {
                         3 => String::new(), // slow-loris marker
                         // Deadline-doomed: a 1 ms budget that queue wait
                         // alone can consume.
-                        _ => req_line(vec![
+                        4 => req_line(vec![
                             ("op", Json::Str("optimize".to_string())),
                             ("db", Json::Str(DB.to_string())),
                             ("timeout_ms", Json::U64(1)),
+                        ]),
+                        // Large query: a 24-relation chain under a tight
+                        // deadline, so the polynomial rungs (lindp/partdp)
+                        // answer past the exhaustive/DP cutoffs.
+                        _ => req_line(vec![
+                            ("op", Json::Str("optimize".to_string())),
+                            (
+                                "db",
+                                Json::Str(
+                                    (0..24)
+                                        .map(|i| format!("relation a{i},a{}\n1 2\n", i + 1))
+                                        .collect(),
+                                ),
+                            ),
+                            ("timeout_ms", Json::U64(250)),
                         ]),
                     };
                     let Ok(mut stream) = TcpStream::connect(addr) else {
@@ -345,8 +360,8 @@ fn oversized_scheme_is_invalid_request_and_pool_survives() {
     let _serial = serialize();
     let server = spawn_real_server(config());
     let addr = server.addr();
-    // A 65-relation chain: a0,a1 ⋈ a1,a2 ⋈ … — one over the bitset cap.
-    let hostile: String = (0..65)
+    // A 129-relation chain: a0,a1 ⋈ a1,a2 ⋈ … — one over the bitset cap.
+    let hostile: String = (0..129)
         .map(|i| format!("relation a{i},a{}\n1 2\n", i + 1))
         .collect();
     let served = request(
@@ -365,7 +380,7 @@ fn oversized_scheme_is_invalid_request_and_pool_survives() {
     );
     let msg = error.get("message").and_then(Json::as_str).unwrap_or("");
     assert!(
-        msg.contains("64") && msg.contains("65"),
+        msg.contains("128") && msg.contains("129"),
         "message must name the cap and the offending count: {msg}"
     );
     // The pool is unharmed: the very next request over the same daemon

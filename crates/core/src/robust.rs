@@ -9,8 +9,13 @@
 //! 1. **Exhaustive** — enumerate every strategy in the space (small
 //!    subsets only; the gold standard);
 //! 2. **Dp** — the space's dynamic program;
-//! 3. **Greedy** — the polynomial heuristic matching the space's shape;
-//! 4. **Fallback** — an index-order left-deep strategy, valid by
+//! 3. **LinDp** — IKKBZ-linearized interval DP: polynomial, bushy plans
+//!    whose subtrees are contiguous in a precedence order, never worse
+//!    than greedy-linear;
+//! 4. **PartitionedDp** — exact DPccp inside ≤ k-relation blocks of the
+//!    join graph, greedy recombination across the cuts;
+//! 5. **Greedy** — the polynomial heuristic matching the space's shape;
+//! 6. **Fallback** — an index-order left-deep strategy, valid by
 //!    construction and computable without touching the data.
 //!
 //! Each rung gets a *slice* of the remaining budget; when a rung trips its
@@ -33,7 +38,8 @@ use mjoin_hypergraph::RelSet;
 use mjoin_obs::{incr, span, Counter, Span};
 use mjoin_optimizer::{
     try_best_avoid_cartesian_parallel, try_best_no_cartesian_parallel, try_greedy_bushy,
-    try_greedy_linear, try_optimize, DpAlgorithm, Plan, SearchSpace,
+    try_greedy_linear, try_lindp, try_optimize, try_partitioned_dp, DpAlgorithm, Plan,
+    SearchSpace,
 };
 use mjoin_strategy::{try_best_strategy_parallel, try_for_each_strategy, Strategy};
 
@@ -48,6 +54,12 @@ pub enum Rung {
     Exhaustive,
     /// The space's dynamic program.
     Dp,
+    /// IKKBZ-linearized interval DP: polynomial in `n`, bushy within a
+    /// precedence order, never worse than greedy-linear.
+    LinDp,
+    /// Partitioned DPccp: exact within ≤ k-relation blocks, greedy
+    /// recombination across the cuts.
+    PartitionedDp,
     /// The greedy heuristic.
     Greedy,
     /// Index-order left-deep strategy, built without touching the data.
@@ -59,6 +71,8 @@ impl fmt::Display for Rung {
         f.write_str(match self {
             Rung::Exhaustive => "exhaustive",
             Rung::Dp => "dp",
+            Rung::LinDp => "lindp",
+            Rung::PartitionedDp => "partdp",
             Rung::Greedy => "greedy",
             Rung::Fallback => "fallback",
         })
@@ -222,8 +236,9 @@ pub enum BrownoutLevel {
     /// Skip exhaustive enumeration; enter at the DP rung with the deadline
     /// halved and the memo capped at 4096 entries.
     ReducedDp,
-    /// Skip exhaustive and DP; enter at the greedy rung with the deadline
-    /// quartered and the memo capped at 1024 entries.
+    /// Skip exhaustive and every DP rung (full, linearized, partitioned);
+    /// enter at the greedy rung with the deadline quartered and the memo
+    /// capped at 1024 entries.
     GreedyOnly,
 }
 
@@ -408,7 +423,93 @@ pub fn optimize_robust_from(
         }
     }
 
-    // Rung 3: greedy, shaped to the space (linear spaces get the linear
+    // Rung 3: IKKBZ-linearized interval DP — polynomial, and its result
+    // is never costlier than greedy-linear's, so it strictly dominates
+    // the linear half of the rung below. Like greedy, its plan may leave
+    // a restricted space (it searches bushy product-free plans);
+    // degradation relaxes optimality first, space membership second.
+    if entry > Rung::LinDp {
+        attempts.push(brownout_skip(Rung::LinDp, entry));
+    } else {
+        match rung_budget(&budget, started, 1, 2) {
+            None => attempts.push(RungAttempt::skipped(
+                Rung::LinDp,
+                "skipped: deadline already exhausted".into(),
+            )),
+            Some(b) => {
+                let guard = rung_guard(b, cancel);
+                oracle.rearm(guard.clone());
+                incr(Counter::LadderRungsAttempted, 1);
+                let _rung_span = span(Span::LadderRung);
+                let rung_started = Instant::now();
+                match try_lindp(&mut oracle, subset, &guard) {
+                    Ok(Some(plan)) => {
+                        let relaxed = !in_space(&plan.strategy, space, &scheme);
+                        let mut report = DegradationReport::clean(Rung::LinDp, attempts);
+                        report.space_relaxed = relaxed;
+                        report.answered_stats = rung_stats(rung_started, &guard);
+                        return Ok(RobustPlan { plan, report });
+                    }
+                    Ok(None) => attempts.push(RungAttempt {
+                        rung: Rung::LinDp,
+                        outcome: "not applicable: the join graph of the subset is unconnected"
+                            .into(),
+                        stats: rung_stats(rung_started, &guard),
+                    }),
+                    Err(e) if degradable(&e) => attempts.push(RungAttempt {
+                        rung: Rung::LinDp,
+                        outcome: e.to_string(),
+                        stats: rung_stats(rung_started, &guard),
+                    }),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    // Rung 4: partitioned DPccp — exact within blocks, greedy across the
+    // cuts. Subsumes plain DPccp when the subset fits one block.
+    if entry > Rung::PartitionedDp {
+        attempts.push(brownout_skip(Rung::PartitionedDp, entry));
+    } else {
+        match rung_budget(&budget, started, 1, 2) {
+            None => attempts.push(RungAttempt::skipped(
+                Rung::PartitionedDp,
+                "skipped: deadline already exhausted".into(),
+            )),
+            Some(b) => {
+                let guard = rung_guard(b, cancel);
+                oracle.rearm(guard.clone());
+                incr(Counter::LadderRungsAttempted, 1);
+                let _rung_span = span(Span::LadderRung);
+                let rung_started = Instant::now();
+                match try_partitioned_dp(&mut oracle, subset, &guard) {
+                    Ok(Some(plan)) => {
+                        let relaxed = !in_space(&plan.strategy, space, &scheme);
+                        let mut report =
+                            DegradationReport::clean(Rung::PartitionedDp, attempts);
+                        report.space_relaxed = relaxed;
+                        report.answered_stats = rung_stats(rung_started, &guard);
+                        return Ok(RobustPlan { plan, report });
+                    }
+                    Ok(None) => attempts.push(RungAttempt {
+                        rung: Rung::PartitionedDp,
+                        outcome: "not applicable: the join graph of the subset is unconnected"
+                            .into(),
+                        stats: rung_stats(rung_started, &guard),
+                    }),
+                    Err(e) if degradable(&e) => attempts.push(RungAttempt {
+                        rung: Rung::PartitionedDp,
+                        outcome: e.to_string(),
+                        stats: rung_stats(rung_started, &guard),
+                    }),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    // Rung 5: greedy, shaped to the space (linear spaces get the linear
     // heuristic). Note the greedy result may use products even in
     // product-free spaces — degradation relaxes optimality first, space
     // membership second.
@@ -454,7 +555,7 @@ pub fn optimize_robust_from(
         }
     }
 
-    // Rung 4: index-order left-deep — valid by construction, no data
+    // Rung 6: index-order left-deep — valid by construction, no data
     // access. Costing it is best-effort under whatever budget remains.
     let order: Vec<usize> = subset.iter().collect();
     let strategy = Strategy::left_deep(&order);
@@ -668,7 +769,91 @@ pub fn optimize_robust_threaded_from(
         }
     }
 
-    // Rung 3: greedy — inherently sequential, but it reads the shared memo
+    // Rungs 3–4: the polynomial large-query rungs. Both are sequential
+    // algorithms (their work is O(n³) oracle arithmetic, not enumeration),
+    // but they read and extend the shared memo through a handle, so
+    // intermediates survive into the greedy rung. Running them on one
+    // worker also keeps their answers bit-identical at every thread count.
+    if entry > Rung::LinDp {
+        attempts.push(brownout_skip(Rung::LinDp, entry));
+    } else {
+        match rung_budget(&budget, started, 1, 2) {
+            None => attempts.push(RungAttempt::skipped(
+                Rung::LinDp,
+                "skipped: deadline already exhausted".into(),
+            )),
+            Some(b) => {
+                let guard = rung_guard(b, cancel);
+                oracle.rearm(guard.clone());
+                incr(Counter::LadderRungsAttempted, 1);
+                let _rung_span = span(Span::LadderRung);
+                let rung_started = Instant::now();
+                match try_lindp(&mut oracle.handle(), subset, &guard) {
+                    Ok(Some(plan)) => {
+                        let relaxed = !in_space(&plan.strategy, space, &scheme);
+                        let mut report = DegradationReport::clean(Rung::LinDp, attempts);
+                        report.space_relaxed = relaxed;
+                        report.answered_stats = rung_stats(rung_started, &guard);
+                        return Ok(RobustPlan { plan, report });
+                    }
+                    Ok(None) => attempts.push(RungAttempt {
+                        rung: Rung::LinDp,
+                        outcome: "not applicable: the join graph of the subset is unconnected"
+                            .into(),
+                        stats: rung_stats(rung_started, &guard),
+                    }),
+                    Err(e) if degradable(&e) => attempts.push(RungAttempt {
+                        rung: Rung::LinDp,
+                        outcome: e.to_string(),
+                        stats: rung_stats(rung_started, &guard),
+                    }),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    if entry > Rung::PartitionedDp {
+        attempts.push(brownout_skip(Rung::PartitionedDp, entry));
+    } else {
+        match rung_budget(&budget, started, 1, 2) {
+            None => attempts.push(RungAttempt::skipped(
+                Rung::PartitionedDp,
+                "skipped: deadline already exhausted".into(),
+            )),
+            Some(b) => {
+                let guard = rung_guard(b, cancel);
+                oracle.rearm(guard.clone());
+                incr(Counter::LadderRungsAttempted, 1);
+                let _rung_span = span(Span::LadderRung);
+                let rung_started = Instant::now();
+                match try_partitioned_dp(&mut oracle.handle(), subset, &guard) {
+                    Ok(Some(plan)) => {
+                        let relaxed = !in_space(&plan.strategy, space, &scheme);
+                        let mut report =
+                            DegradationReport::clean(Rung::PartitionedDp, attempts);
+                        report.space_relaxed = relaxed;
+                        report.answered_stats = rung_stats(rung_started, &guard);
+                        return Ok(RobustPlan { plan, report });
+                    }
+                    Ok(None) => attempts.push(RungAttempt {
+                        rung: Rung::PartitionedDp,
+                        outcome: "not applicable: the join graph of the subset is unconnected"
+                            .into(),
+                        stats: rung_stats(rung_started, &guard),
+                    }),
+                    Err(e) if degradable(&e) => attempts.push(RungAttempt {
+                        rung: Rung::PartitionedDp,
+                        outcome: e.to_string(),
+                        stats: rung_stats(rung_started, &guard),
+                    }),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    // Rung 5: greedy — inherently sequential, but it reads the shared memo
     // the parallel rungs populated.
     let linear_space = matches!(
         space,
@@ -713,7 +898,7 @@ pub fn optimize_robust_threaded_from(
         }
     }
 
-    // Rung 4: index-order left-deep, costed best-effort.
+    // Rung 6: index-order left-deep, costed best-effort.
     let order: Vec<usize> = subset.iter().collect();
     let strategy = Strategy::left_deep(&order);
     incr(Counter::LadderRungsAttempted, 1);
@@ -922,7 +1107,8 @@ mod tests {
             let expected = match level {
                 BrownoutLevel::Normal => 0,
                 BrownoutLevel::ReducedDp => 1,
-                BrownoutLevel::GreedyOnly => 2,
+                // GreedyOnly skips exhaustive, dp, lindp and partdp.
+                BrownoutLevel::GreedyOnly => 4,
             };
             assert_eq!(skips, expected, "{level}");
         }

@@ -44,11 +44,21 @@ pub fn optimize_fingerprint(
 }
 
 /// A strategy as the store's flat `(set, left, right)` triples, pre-order.
-pub fn plan_steps(strategy: &Strategy) -> Vec<(u64, u64, u64)> {
+/// The store's format is 64-bit, so a strategy touching relations ≥ 64
+/// cannot be persisted — a typed error, never a silent truncation (schemes
+/// that wide go through the polynomial planners and skip the store).
+pub fn plan_steps(strategy: &Strategy) -> Result<Vec<(u64, u64, u64)>, MjoinError> {
     strategy
         .steps()
         .iter()
-        .map(|s| (s.set.0, s.left.0, s.right.0))
+        .map(|s| {
+            match (s.set.to_u64(), s.left.to_u64(), s.right.to_u64()) {
+                (Some(set), Some(l), Some(r)) => Ok((set, l, r)),
+                _ => Err(MjoinError::Internal(
+                    "persisting a plan requires all relations below index 64".into(),
+                )),
+            }
+        })
         .collect()
 }
 
@@ -71,20 +81,21 @@ pub fn strategy_from_steps(
         if set.is_singleton() {
             return Ok(Strategy::leaf(set.first().expect("singleton is nonempty")));
         }
-        let Some(&(_, l, r)) = steps.iter().find(|&&(s, _, _)| s == set.0) else {
+        let Some(&(_, l, r)) = steps
+            .iter()
+            .find(|&&(s, _, _)| set.to_u64() == Some(s))
+        else {
             return Err(MjoinError::Internal(format!(
                 "stored plan has no step for subset {set:?}"
             )));
         };
-        if RelSet(l).union(RelSet(r)) != set || RelSet(l).is_empty() || RelSet(r).is_empty() {
+        let (l, r) = (RelSet(u128::from(l)), RelSet(u128::from(r)));
+        if l.union(r) != set || l.is_empty() || r.is_empty() {
             return Err(MjoinError::Internal(format!(
                 "stored plan step for {set:?} does not partition it"
             )));
         }
-        Strategy::join(
-            build(RelSet(l), steps, depth + 1)?,
-            build(RelSet(r), steps, depth + 1)?,
-        )
+        Strategy::join(build(l, steps, depth + 1)?, build(r, steps, depth + 1)?)
         .map_err(|e| MjoinError::Internal(format!("stored plan children overlap: {e}")))
     }
     build(within, steps, 0)
@@ -100,9 +111,14 @@ pub fn entry_from_optimize(
     memo: Option<&DpMemoExport>,
     taus: &[(u64, u64)],
     response: &str,
-) -> StoreEntry {
+) -> Result<StoreEntry, MjoinError> {
+    let Some(within64) = within.to_u64() else {
+        return Err(MjoinError::Internal(
+            "persisting an optimize run requires all relations below index 64".into(),
+        ));
+    };
     let (steps, plan_cost) = match plan {
-        Some((strategy, cost)) => (plan_steps(strategy), cost),
+        Some((strategy, cost)) => (plan_steps(strategy)?, cost),
         None => (Vec::new(), u64::MAX),
     };
     let (subsets, costs, splits) = match memo {
@@ -128,9 +144,9 @@ pub fn entry_from_optimize(
             })
             .collect()
     };
-    StoreEntry {
+    Ok(StoreEntry {
         fingerprint,
-        within: within.0,
+        within: within64,
         plan_cost,
         subsets,
         costs,
@@ -138,7 +154,7 @@ pub fn entry_from_optimize(
         cards,
         steps,
         response: response.to_string(),
-    }
+    })
 }
 
 /// The memo half of a loaded entry, back in the optimizer's export form —
@@ -192,7 +208,7 @@ mod tests {
             try_best_no_cartesian_ccp_with_memo(&mut oracle, full, &Guard::unlimited())
                 .unwrap()
                 .unwrap();
-        let steps = plan_steps(&plan.strategy);
+        let steps = plan_steps(&plan.strategy).unwrap();
         let rebuilt = strategy_from_steps(full, &steps).unwrap();
         assert_eq!(rebuilt, plan.strategy);
         assert_eq!(
@@ -218,7 +234,8 @@ mod tests {
             Some(&memo),
             &taus,
             "rendered\n",
-        );
+        )
+        .unwrap();
         let bytes = mjoin_store::serialize(std::slice::from_ref(&entry)).unwrap();
         let store = LoadedStore::from_bytes(bytes).unwrap();
         let view = store.entry_at(0);
@@ -233,7 +250,7 @@ mod tests {
         for r in 0..view.n_subsets() {
             let tau = view.card(r).unwrap();
             if tau != u64::MAX {
-                assert_eq!(tau, oracle.try_tau(RelSet(view.subset(r))).unwrap());
+                assert_eq!(tau, oracle.try_tau(RelSet(u128::from(view.subset(r)))).unwrap());
             }
         }
     }

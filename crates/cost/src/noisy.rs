@@ -95,7 +95,14 @@ impl<O> NoisyOracle<O> {
         if self.q <= 1.0 {
             return 1.0;
         }
-        let h = splitmix64(self.seed ^ subset.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Fold the 128-bit subset into 64 bits word-wise; the high word is
+        // zero for sets under 64 relations, so factors there are unchanged
+        // from the 64-bit era (seeded noise stays reproducible).
+        let [lo, hi] = subset.words();
+        let folded = lo
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(hi.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let h = splitmix64(self.seed ^ folded);
         // Top 53 bits → uniform in [0, 1), then stretched to [-1, 1).
         let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
         self.q.powf(2.0 * unit - 1.0)

@@ -221,12 +221,14 @@ impl<'a> ExactOracle<'a> {
     /// materialized intermediate, in ascending subset order (the memo map
     /// iterates in hash order, so the harvest sorts for determinism). The
     /// persistent store saves these so a warm process prices the same
-    /// subsets without rematerializing a single join.
+    /// subsets without rematerializing a single join. The store's flat
+    /// format is 64-bit, so subsets with members ≥ 64 (only possible on
+    /// schemes too large to persist at all) are skipped.
     pub fn memo_taus(&self) -> Vec<(u64, u64)> {
         let mut out: Vec<(u64, u64)> = self
             .memo
             .iter()
-            .map(|(s, r)| (s.0, r.tau()))
+            .filter_map(|(s, r)| s.to_u64().map(|bits| (bits, r.tau())))
             .collect();
         out.sort_unstable();
         out

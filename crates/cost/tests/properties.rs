@@ -83,7 +83,10 @@ proptest! {
     #[test]
     fn join_bound(db in arb_database(), a: u64, b: u64) {
         let full = db.scheme().full_set();
-        let (a, b) = (RelSet(a).intersect(full), RelSet(b).intersect(full));
+        let (a, b) = (
+            RelSet(u128::from(a)).intersect(full),
+            RelSet(u128::from(b)).intersect(full),
+        );
         prop_assume!(!a.is_empty() && !b.is_empty() && a.is_disjoint(b));
         let mut o = ExactOracle::new(&db);
         let joined = o.tau_join(a, b);

@@ -25,6 +25,8 @@ pub const SITES: &[&str] = &[
     "optimizer::dp",
     "optimizer::greedy",
     "optimizer::ikkbz",
+    "optimizer::lindp",
+    "optimizer::partdp",
     "optimizer::exhaustive",
     "semijoin::reduce",
     "core::ladder",
@@ -53,6 +55,8 @@ pub const SITE_DOCS: &[(&str, &str)] = &[
     ("optimizer::dp", "bushy / DPccp dynamic programs"),
     ("optimizer::greedy", "greedy bushy optimizer"),
     ("optimizer::ikkbz", "IK/KBZ linear-order optimizer"),
+    ("optimizer::lindp", "IKKBZ-linearized interval-DP optimizer"),
+    ("optimizer::partdp", "partitioned DPccp optimizer"),
     ("optimizer::exhaustive", "exhaustive strategy enumeration"),
     ("semijoin::reduce", "semijoin full-reducer passes"),
     ("core::ladder", "degradation-ladder rung dispatch"),

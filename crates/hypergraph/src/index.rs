@@ -61,16 +61,48 @@ impl SchemeIndex {
     /// [`SchemeIndex::new`], with rank-space overflow reported as
     /// [`MjoinError::InvalidScheme`] rather than a panic.
     pub fn try_new(scheme: &DbScheme, within: RelSet) -> Result<SchemeIndex, MjoinError> {
-        let subsets = scheme.connected_subsets(within);
+        Self::try_new_checked(scheme, within, &mut |_| Ok(()))
+    }
+
+    /// [`SchemeIndex::try_new`] with a fallible per-subset check run during
+    /// the connected-subset enumeration. On a dense scheme that enumeration
+    /// is exponential, so deadline-bounded callers (the degradation
+    /// ladder's DP rungs) thread their guard checkpoint through here — a
+    /// hostile 60-clique then trips its budget instead of hanging the
+    /// worker in index construction.
+    pub fn try_new_checked(
+        scheme: &DbScheme,
+        within: RelSet,
+        check: &mut impl FnMut(RelSet) -> Result<(), MjoinError>,
+    ) -> Result<SchemeIndex, MjoinError> {
+        let subsets = scheme.try_connected_subsets(within, check)?;
         Self::ensure_rank_space(subsets.len())?;
         let n = within.len();
         let use_dense = n > 0 && n <= DENSE_MAX_RELS && within == RelSet::full(n);
-        let mut ranks = FastMap::default();
+        // Pre-size both lookup structures from one counting pass so
+        // construction allocates each table exactly once — above n = 20 the
+        // sparse map would otherwise rehash repeatedly as it grows through
+        // tens of thousands of connected subsets.
+        let mut level_counts = vec![0usize; n + 1];
+        for s in &subsets {
+            level_counts[s.len()] += 1;
+        }
+        let mut ranks = if use_dense {
+            FastMap::default()
+        } else {
+            FastMap::with_capacity_and_hasher(subsets.len(), Default::default())
+        };
         let mut dense = use_dense.then(|| vec![0u32; 1usize << n]);
-        let mut by_size: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        let mut by_size: Vec<Vec<u32>> = level_counts
+            .iter()
+            .map(|&c| Vec::with_capacity(c))
+            .collect();
         for (rank, &s) in subsets.iter().enumerate() {
             match &mut dense {
-                Some(table) => table[s.0 as usize] = rank as u32 + 1,
+                Some(table) => {
+                    let slot = usize::try_from(s.0).expect("dense subsets fit 20 bits");
+                    table[slot] = rank as u32 + 1;
+                }
                 None => {
                     ranks.insert(s, rank as u32);
                 }
@@ -128,8 +160,10 @@ impl SchemeIndex {
     pub fn rank(&self, subset: RelSet) -> Option<u32> {
         if let Some(table) = &self.dense {
             // Bits outside `within` index past the table and fall off the
-            // `get`, which is the correct `None`.
-            return match table.get(subset.0 as usize) {
+            // `get`, which is the correct `None`; bits past the usize range
+            // (members ≥ 64) must take the same path, never a truncating
+            // `as` cast that could alias onto a valid slot.
+            return match usize::try_from(subset.0).ok().and_then(|i| table.get(i)) {
                 Some(&r) if r != 0 => Some(r - 1),
                 _ => None,
             };
@@ -220,8 +254,13 @@ mod tests {
                 assert_eq!(idx.rank(s), Some(rank as u32));
             }
             assert_eq!(idx.rank(RelSet::from_indices([0, 2])), None);
-            // Out-of-range bits must not index past the dense table.
+            // Out-of-range bits must not index past the dense table —
+            // including bits ≥ 64, where a truncating cast would alias
+            // back onto valid slots.
             assert_eq!(idx.rank(RelSet::singleton(63)), None);
+            assert_eq!(idx.rank(RelSet::singleton(64)), None);
+            assert_eq!(idx.rank(RelSet::singleton(127)), None);
+            assert_eq!(idx.rank(RelSet::from_indices([0, 64])), None);
         }
     }
 

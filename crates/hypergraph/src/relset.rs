@@ -1,20 +1,21 @@
-//! Subsets of a database scheme as 64-bit bitsets.
+//! Subsets of a database scheme as 128-bit bitsets.
 
 use std::fmt;
 
 /// Maximum number of relation schemes in a [`DbScheme`](crate::DbScheme).
 ///
-/// A [`RelSet`] is a single machine word; the dynamic programs in
-/// `mjoin-optimizer` index their memo tables by it. 64 relations is far
-/// beyond exhaustive optimization reach (the strategy space for n = 64 has
-/// (2·64 − 3)!! ≈ 10⁹⁸ members); larger queries go through the heuristic
-/// planners, which also fit in 64.
-pub const MAX_RELATIONS: usize = 64;
+/// A [`RelSet`] is a `u128`; the dynamic programs in `mjoin-optimizer`
+/// index their memo tables by it. 128 relations covers the ~100-join
+/// queries the paper's §1 cites as motivation — far beyond exhaustive or
+/// full-DP reach (those stop near n = 7 and n = 20 respectively); larger
+/// queries go through the polynomial rungs (linearized DP, partitioned
+/// DPccp, greedy), which all fit in 128.
+pub const MAX_RELATIONS: usize = 128;
 
 /// A subset of the relation schemes of a database scheme — the paper's
 /// `D′ ⊆ D` — as a bitset over scheme indices.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct RelSet(pub u64);
+pub struct RelSet(pub u128);
 
 impl RelSet {
     /// The empty subset.
@@ -28,9 +29,9 @@ impl RelSet {
     pub fn full(n: usize) -> Self {
         debug_assert!(n <= MAX_RELATIONS);
         if n == MAX_RELATIONS {
-            RelSet(u64::MAX)
+            RelSet(u128::MAX)
         } else {
-            RelSet((1u64 << n) - 1)
+            RelSet((1u128 << n) - 1)
         }
     }
 
@@ -38,7 +39,7 @@ impl RelSet {
     #[inline]
     pub fn singleton(i: usize) -> Self {
         debug_assert!(i < MAX_RELATIONS);
-        RelSet(1u64 << i)
+        RelSet(1u128 << i)
     }
 
     /// Builds a set from indices.
@@ -54,21 +55,21 @@ impl RelSet {
     #[inline]
     pub fn insert(&mut self, i: usize) {
         debug_assert!(i < MAX_RELATIONS);
-        self.0 |= 1u64 << i;
+        self.0 |= 1u128 << i;
     }
 
     /// Removes index `i`.
     #[inline]
     pub fn remove(&mut self, i: usize) {
         debug_assert!(i < MAX_RELATIONS);
-        self.0 &= !(1u64 << i);
+        self.0 &= !(1u128 << i);
     }
 
     /// Does the set contain `i`?
     #[inline]
     pub fn contains(self, i: usize) -> bool {
         debug_assert!(i < MAX_RELATIONS);
-        self.0 & (1u64 << i) != 0
+        self.0 & (1u128 << i) != 0
     }
 
     /// Cardinality `|D′|`.
@@ -133,6 +134,27 @@ impl RelSet {
     #[inline]
     pub fn iter(self) -> RelSetIter {
         RelSetIter(self.0)
+    }
+
+    /// The set's bits as two 64-bit words, low word first — the word-level
+    /// view the partition/interval inner loops and the persistent store
+    /// (whose flat format is 64-bit) work in.
+    #[inline]
+    pub fn words(self) -> [u64; 2] {
+        [self.0 as u64, (self.0 >> 64) as u64]
+    }
+
+    /// Rebuilds a set from [`RelSet::words`] output.
+    #[inline]
+    pub fn from_words(words: [u64; 2]) -> Self {
+        RelSet((words[0] as u128) | ((words[1] as u128) << 64))
+    }
+
+    /// The low 64-bit word when the whole set fits in it — the persistent
+    /// store's flat subset representation. `None` for any member ≥ 64.
+    #[inline]
+    pub fn to_u64(self) -> Option<u64> {
+        u64::try_from(self.0).ok()
     }
 
     /// Iterates over all subsets of `self` (including empty and `self`),
@@ -203,7 +225,7 @@ impl fmt::Debug for RelSet {
 }
 
 /// Ascending iterator over the members of a [`RelSet`].
-pub struct RelSetIter(u64);
+pub struct RelSetIter(u128);
 
 impl Iterator for RelSetIter {
     type Item = usize;
@@ -229,8 +251,8 @@ impl ExactSizeIterator for RelSetIter {}
 
 /// Iterator over all subsets of a mask (sub-mask enumeration).
 pub struct SubsetIter {
-    mask: u64,
-    current: u64,
+    mask: u128,
+    current: u128,
     done: bool,
 }
 
@@ -275,8 +297,10 @@ mod tests {
     fn full_and_singleton() {
         assert_eq!(RelSet::full(3), RelSet(0b111));
         assert_eq!(RelSet::full(64).len(), 64);
+        assert_eq!(RelSet::full(128).len(), 128);
         assert_eq!(RelSet::singleton(2), RelSet(0b100));
         assert!(RelSet::singleton(0).is_singleton());
+        assert!(RelSet::singleton(127).is_singleton());
     }
 
     #[test]
@@ -294,9 +318,20 @@ mod tests {
 
     #[test]
     fn iteration_ascending() {
-        let s = RelSet::from_indices([7, 1, 63]);
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 7, 63]);
-        assert_eq!(s.iter().len(), 3);
+        let s = RelSet::from_indices([7, 1, 63, 100]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 7, 63, 100]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn words_round_trip_across_the_64_bit_seam() {
+        let s = RelSet::from_indices([0, 63, 64, 127]);
+        let w = s.words();
+        assert_eq!(w, [1 | (1 << 63), 1 | (1 << 63)]);
+        assert_eq!(RelSet::from_words(w), s);
+        assert_eq!(s.to_u64(), None);
+        let low = RelSet::from_indices([0, 63]);
+        assert_eq!(low.to_u64(), Some(1 | (1 << 63)));
     }
 
     #[test]
@@ -310,6 +345,16 @@ mod tests {
         assert!(subs.contains(&t));
         assert!(subs.contains(&RelSet::singleton(1)));
         assert!(subs.contains(&RelSet::singleton(3)));
+    }
+
+    #[test]
+    fn subset_enumeration_above_the_64_bit_seam() {
+        let t = RelSet::from_indices([63, 64, 100]);
+        let subs: Vec<RelSet> = t.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&RelSet::empty()));
+        assert!(subs.contains(&t));
+        assert!(subs.contains(&RelSet::from_indices([63, 100])));
     }
 
     #[test]

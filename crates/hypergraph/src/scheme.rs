@@ -205,6 +205,23 @@ impl DbScheme {
     /// sparse topologies stay cheap — a 40-relation chain has 820
     /// connected subsets, not 2⁴⁰ candidates.
     pub fn connected_subsets(&self, within: RelSet) -> Vec<RelSet> {
+        match self.try_connected_subsets::<std::convert::Infallible>(within, &mut |_| Ok(())) {
+            Ok(out) => out,
+            Err(e) => match e {},
+        }
+    }
+
+    /// [`connected_subsets`](Self::connected_subsets) with a fallible
+    /// per-emission check. On a dense scheme the connected-subset count is
+    /// exponential, so any deadline-bounded caller (the degradation
+    /// ladder's DP rung in particular) must be able to abandon the
+    /// enumeration mid-flight — `check` is called once per emitted subset
+    /// and its first error aborts the walk.
+    pub fn try_connected_subsets<E>(
+        &self,
+        within: RelSet,
+        check: &mut impl FnMut(RelSet) -> Result<(), E>,
+    ) -> Result<Vec<RelSet>, E> {
         let mut out = Vec::new();
         let members: Vec<usize> = within.iter().collect();
         for &start in members.iter().rev() {
@@ -212,32 +229,35 @@ impl DbScheme {
             // their own minimum are enumerated exactly once.
             let forbidden = RelSet::from_indices(members.iter().copied().filter(|&j| j < start));
             let seed = RelSet::singleton(start);
+            check(seed)?;
             out.push(seed);
-            self.enumerate_csg_rec(seed, forbidden.union(seed), within, &mut out);
+            self.enumerate_csg_rec(seed, forbidden.union(seed), within, &mut out, check)?;
         }
         out.sort_unstable();
-        out
+        Ok(out)
     }
 
-    fn enumerate_csg_rec(
+    fn enumerate_csg_rec<E>(
         &self,
         subset: RelSet,
         excluded: RelSet,
         within: RelSet,
         out: &mut Vec<RelSet>,
-    ) {
+        check: &mut impl FnMut(RelSet) -> Result<(), E>,
+    ) -> Result<(), E> {
         // Neighborhood of `subset` inside `within`, minus exclusions.
         let neighborhood = self
             .neighborhood(subset)
             .intersect(within)
             .difference(excluded);
         if neighborhood.is_empty() {
-            return;
+            return Ok(());
         }
         for ext in neighborhood.subsets() {
             if ext.is_empty() {
                 continue;
             }
+            check(subset.union(ext))?;
             out.push(subset.union(ext));
         }
         for ext in neighborhood.subsets() {
@@ -249,8 +269,10 @@ impl DbScheme {
                 excluded.union(neighborhood),
                 within,
                 out,
-            );
+                check,
+            )?;
         }
+        Ok(())
     }
 
     /// Streams every **csg–cmp pair** of the query graph restricted to

@@ -1,0 +1,91 @@
+//! Allocation regression for [`SchemeIndex`] construction on the sparse
+//! (n > 20) path: both lookup structures are pre-sized from one counting
+//! pass, so building the n = 50 index performs exactly one allocation per
+//! level table plus a constant — no rank-map rehash growth, which is what
+//! this test would catch (a map that grows through ~1275 entries by
+//! doubling adds about ten extra allocations and blows the bound).
+//!
+//! This file is its own integration-test binary so the counting global
+//! allocator cannot interfere with any other test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mjoin_hypergraph::{DbScheme, SchemeIndex};
+use mjoin_relation::{AttrSet, Catalog};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// The counter only ever increments, so `count_allocs` is immune to frees
+// of temporaries (`realloc` counts as one: it is one new table).
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, out)
+}
+
+/// An n-relation chain scheme `R₀ = a₀a₁, R₁ = a₁a₂, …`.
+fn chain(n: usize) -> DbScheme {
+    let mut cat = Catalog::new();
+    let attrs: Vec<AttrSet> = (0..=n)
+        .map(|i| AttrSet::singleton(cat.intern(&format!("a{i}")).unwrap()))
+        .collect();
+    let schemes = (0..n).map(|i| attrs[i].union(attrs[i + 1])).collect();
+    DbScheme::new(schemes).unwrap()
+}
+
+/// n = 50 is far past the dense cutoff (20), so the rank table is the
+/// hash map. Construction must allocate each structure exactly once:
+/// the counting pass (1), the pre-sized rank map (1), the level-group
+/// outer vec (1), and one vec per level (n + 1) — everything beyond the
+/// subset enumeration itself. The bound leaves a small constant of slack
+/// for allocator-internal bookkeeping but is far below what one rehash
+/// cascade would add.
+#[test]
+fn n50_index_construction_allocates_one_table_per_level() {
+    let n = 50;
+    let scheme = chain(n);
+    let within = scheme.full_set();
+
+    // Baseline: the connected-subset enumeration alone (its output vec is
+    // moved into the index unchanged, so it is common to both runs).
+    let (enum_allocs, subsets) = count_allocs(|| scheme.connected_subsets(within));
+    assert_eq!(subsets.len(), n * (n + 1) / 2, "chain has n(n+1)/2 subsets");
+    drop(subsets);
+
+    let (total, index) = count_allocs(|| SchemeIndex::new(&scheme, within));
+    assert_eq!(index.len(), n * (n + 1) / 2);
+    assert!(index.rank(within).is_some(), "full set must be ranked");
+
+    let index_allocs = total.saturating_sub(enum_allocs);
+    // counting pass + rank map + outer level vec + (n + 1) level tables,
+    // plus slack of 4 — a rehash cascade through ~1275 entries costs ~10.
+    let bound = (n as u64 + 1) + 3 + 4;
+    assert!(
+        index_allocs <= bound,
+        "index-only construction did {index_allocs} allocations \
+         (enumeration {enum_allocs}, total {total}); bound {bound} — \
+         did the rank map lose its pre-sizing?"
+    );
+}

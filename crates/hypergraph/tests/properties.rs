@@ -35,7 +35,7 @@ proptest! {
     /// linked.
     #[test]
     fn components_partition(scheme in arb_scheme(), mask: u64) {
-        let subset = RelSet(mask).intersect(scheme.full_set());
+        let subset = RelSet(u128::from(mask)).intersect(scheme.full_set());
         let comps = scheme.components(subset);
         let mut union = RelSet::empty();
         for (i, &c) in comps.iter().enumerate() {
@@ -54,7 +54,7 @@ proptest! {
     /// `connected` agrees with `components`: connected iff ≤ 1 component.
     #[test]
     fn connected_iff_one_component(scheme in arb_scheme(), mask: u64) {
-        let subset = RelSet(mask).intersect(scheme.full_set());
+        let subset = RelSet(u128::from(mask)).intersect(scheme.full_set());
         prop_assert_eq!(
             scheme.connected(subset),
             scheme.components(subset).len() <= 1
@@ -65,7 +65,7 @@ proptest! {
     /// filter on arbitrary schemes and restrictions.
     #[test]
     fn connected_subsets_match_filter(scheme in arb_scheme(), mask: u64) {
-        let within = RelSet(mask).intersect(scheme.full_set());
+        let within = RelSet(u128::from(mask)).intersect(scheme.full_set());
         let mut fast = scheme.connected_subsets(within);
         let mut brute: Vec<RelSet> = within
             .subsets()
@@ -81,9 +81,9 @@ proptest! {
     fn linked_laws(scheme in arb_scheme(), a: u64, b: u64, c: u64) {
         let full = scheme.full_set();
         let (a, b, c) = (
-            RelSet(a).intersect(full),
-            RelSet(b).intersect(full),
-            RelSet(c).intersect(full),
+            RelSet(u128::from(a)).intersect(full),
+            RelSet(u128::from(b)).intersect(full),
+            RelSet(u128::from(c)).intersect(full),
         );
         prop_assert_eq!(scheme.linked(a, b), scheme.linked(b, a));
         if scheme.linked(a, b) && !a.is_empty() {
@@ -130,7 +130,7 @@ proptest! {
     #[test]
     fn attrs_of_union(scheme in arb_scheme(), a: u64, b: u64) {
         let full = scheme.full_set();
-        let (a, b) = (RelSet(a).intersect(full), RelSet(b).intersect(full));
+        let (a, b) = (RelSet(u128::from(a)).intersect(full), RelSet(u128::from(b)).intersect(full));
         prop_assert_eq!(
             scheme.attrs_of(a.union(b)),
             scheme.attrs_of(a).union(scheme.attrs_of(b))
@@ -266,7 +266,7 @@ mod ccp {
             let scheme = random_connected(&mut rng, n, extra);
             assert_ccp_matches_brute(&scheme, scheme.full_set());
             // Also on a restricted (possibly disconnected) `within`.
-            let within = RelSet(rng.gen_range(1..u64::MAX)).intersect(scheme.full_set());
+            let within = RelSet(u128::from(rng.gen_range(1..u64::MAX))).intersect(scheme.full_set());
             assert_ccp_matches_brute(&scheme, within);
         }
     }

@@ -91,6 +91,13 @@ pub enum Counter {
     GreedyMerges,
     /// Linear orderings scored by IK/KBZ.
     IkkbzOrderings,
+    /// Precedence-graph linearizations the linearized DP interval-solved.
+    IkkbzLinearizations,
+    /// Connected order-intervals the linearized DP solved.
+    LindpIntervalsSolved,
+    /// Blocks the partitioned DPccp cut the join graph into (charged only
+    /// when the query actually partitions, i.e. `n > k`).
+    PartdpPartitions,
     /// Rungs the degradation ladder attempted.
     LadderRungsAttempted,
     /// Pipeline stages the adaptive executor ran to completion.
@@ -134,7 +141,7 @@ pub enum Counter {
 
 /// All counters, in registry order. `Counter::ALL.len()` sizes the array.
 impl Counter {
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 38] = [
         Counter::OracleMemoHits,
         Counter::OracleSubsetsMaterialized,
         Counter::OracleSharedHits,
@@ -152,6 +159,9 @@ impl Counter {
         Counter::GreedyOracleCalls,
         Counter::GreedyMerges,
         Counter::IkkbzOrderings,
+        Counter::IkkbzLinearizations,
+        Counter::LindpIntervalsSolved,
+        Counter::PartdpPartitions,
         Counter::LadderRungsAttempted,
         Counter::AdaptiveStagesExecuted,
         Counter::AdaptiveReplans,
@@ -194,6 +204,9 @@ impl Counter {
             Counter::GreedyOracleCalls => "greedy.oracle_calls",
             Counter::GreedyMerges => "greedy.merges",
             Counter::IkkbzOrderings => "ikkbz.orderings_scored",
+            Counter::IkkbzLinearizations => "ikkbz.linearizations",
+            Counter::LindpIntervalsSolved => "lindp.intervals_solved",
+            Counter::PartdpPartitions => "partdp.partitions",
             Counter::LadderRungsAttempted => "ladder.rungs_attempted",
             Counter::AdaptiveStagesExecuted => "adaptive.stages_executed",
             Counter::AdaptiveReplans => "adaptive.replans",

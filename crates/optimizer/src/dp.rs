@@ -73,6 +73,50 @@ impl FlatTable {
     }
 }
 
+/// Reusable enumeration scratch for the streaming DPccp: the per-level
+/// csg–cmp pair lists (the CSR staging area) and the per-rank running-
+/// minimum accumulators. A safe arena — the crate forbids `unsafe`, so
+/// instead of a bump allocator the pool keeps every `Vec`'s capacity alive
+/// across uses: levels within one DP run reset the accumulators in place,
+/// and the partitioned DPccp reuses the whole pool across its blocks, so
+/// block `i + 1` enumerates into block `i`'s allocations instead of the
+/// allocator's.
+pub(crate) struct DpScratch {
+    /// `by_level[k]` = `(target_rank, csg_rank, cmp_rank)` triples whose
+    /// union has size `k` — cleared per run, capacity retained.
+    by_level: Vec<Vec<(u32, u32, u32)>>,
+    /// Running `(cost, csg_rank)`-minimum per target rank; reset lazily
+    /// per level (only the finalized slots are touched).
+    acc_cost: Vec<u64>,
+    acc_split: Vec<(u32, u32)>,
+}
+
+impl DpScratch {
+    pub(crate) fn new() -> DpScratch {
+        DpScratch {
+            by_level: Vec::new(),
+            acc_cost: Vec::new(),
+            acc_split: Vec::new(),
+        }
+    }
+
+    /// Readies the pool for a run over `levels + 1` sizes and `ranks`
+    /// subsets: clears contents, keeps capacities, grows only when this
+    /// run is larger than any before it.
+    fn reset(&mut self, levels: usize, ranks: usize) {
+        if self.by_level.len() < levels + 1 {
+            self.by_level.resize_with(levels + 1, Vec::new);
+        }
+        for level in &mut self.by_level {
+            level.clear();
+        }
+        self.acc_cost.clear();
+        self.acc_cost.resize(ranks, u64::MAX);
+        self.acc_split.clear();
+        self.acc_split.resize(ranks, (0u32, 0u32));
+    }
+}
+
 /// Enumeration style for the product-free DP — an ablation trio; all
 /// produce plans of identical cost.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -142,6 +186,14 @@ fn bushy_rec<O: CardinalityOracle>(
     let mut scanned = 0u64;
     for (s1, s2) in s.proper_splits() {
         scanned += 1;
+        // Once the memo is warm, long runs of this scan do no oracle work
+        // at all — and on a large subset the scan is `2^{n−1}` iterations,
+        // far past any deadline. Poll the guard on a stride so a budgeted
+        // rung trips within its slice instead of overshooting it (the
+        // stride keeps the hot path's atomic traffic negligible).
+        if scanned & 0xFF == 0 {
+            guard.checkpoint()?;
+        }
         let c = bushy_rec(oracle, s1, memo, guard, total_scanned)?
             .saturating_add(bushy_rec(oracle, s2, memo, guard, total_scanned)?);
         if c < best {
@@ -329,7 +381,24 @@ fn build_level_pairs(
     index: &SchemeIndex,
     guard: &Guard,
 ) -> Result<LevelPairs, MjoinError> {
-    let mut by_level: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); index.max_size() + 1];
+    let mut scratch = DpScratch::new();
+    build_level_pairs_into(scheme, index, guard, &mut scratch)?;
+    Ok(LevelPairs {
+        by_level: std::mem::take(&mut scratch.by_level),
+    })
+}
+
+/// [`build_level_pairs`], enumerating into a caller-owned [`DpScratch`] so
+/// repeated runs (levels of one query, blocks of a partitioned query)
+/// reuse the pair lists' capacity instead of reallocating them.
+fn build_level_pairs_into(
+    scheme: &DbScheme,
+    index: &SchemeIndex,
+    guard: &Guard,
+    scratch: &mut DpScratch,
+) -> Result<(), MjoinError> {
+    scratch.reset(index.max_size(), index.len());
+    let by_level = &mut scratch.by_level;
     let mut emitted = 0u64;
     scheme.try_for_each_ccp(index.within(), &mut |csg, cmp| {
         guard.checkpoint()?;
@@ -346,7 +415,7 @@ fn build_level_pairs(
         Ok(())
     })?;
     incr(Counter::DpCcpPairsEmitted, emitted);
-    Ok(LevelPairs { by_level })
+    Ok(())
 }
 
 /// The per-target CSR view of [`LevelPairs`], built only for the parallel
@@ -464,6 +533,34 @@ fn nocp_dpccp<O: CardinalityOracle>(
     }))
 }
 
+/// Product-free DPccp over `subset` with caller-owned enumeration scratch.
+/// Identical plans to [`try_best_no_cartesian`] with [`DpAlgorithm::DpCcp`]
+/// (same table, same tie-breaks); the only difference is where the pair
+/// lists and accumulators live. The partitioned planner threads one pool
+/// through every block.
+pub(crate) fn nocp_dpccp_with_scratch<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    guard: &Guard,
+    scratch: &mut DpScratch,
+) -> Result<Option<Plan>, MjoinError> {
+    failpoints::hit("optimizer::dp")?;
+    if !oracle.scheme().connected(subset) {
+        return Ok(None);
+    }
+    let (index, table) = nocp_dpccp_core_with(oracle, subset, guard, scratch)?;
+    let Some(root) = index.rank(subset) else {
+        return Ok(None);
+    };
+    if !table.solved(root) {
+        return Ok(None);
+    }
+    Ok(Some(Plan {
+        strategy: try_rebuild_flat(root, &index, &table)?,
+        cost: table.costs[root as usize],
+    }))
+}
+
 /// The DPccp body: builds the rank index and solves the flat table.
 /// Shared by the plain entry point and the memo-exporting one.
 fn nocp_dpccp_core<O: CardinalityOracle>(
@@ -471,11 +568,25 @@ fn nocp_dpccp_core<O: CardinalityOracle>(
     subset: RelSet,
     guard: &Guard,
 ) -> Result<(SchemeIndex, FlatTable), MjoinError> {
+    let mut scratch = DpScratch::new();
+    nocp_dpccp_core_with(oracle, subset, guard, &mut scratch)
+}
+
+/// [`nocp_dpccp_core`] over a caller-owned [`DpScratch`], so a sequence of
+/// runs (the partitioned planner's blocks) shares one set of enumeration
+/// buffers.
+fn nocp_dpccp_core_with<O: CardinalityOracle>(
+    oracle: &mut O,
+    subset: RelSet,
+    guard: &Guard,
+    scratch: &mut DpScratch,
+) -> Result<(SchemeIndex, FlatTable), MjoinError> {
     // One connected-subset enumeration builds the rank index, one csg–cmp
     // enumeration builds every candidate list; the DP itself then touches
     // no hash table and no graph predicate — just flat `Vec` slots.
-    let index = SchemeIndex::try_new(oracle.scheme(), subset)?;
-    let levels = build_level_pairs(oracle.scheme(), &index, guard)?;
+    let index =
+        SchemeIndex::try_new_checked(oracle.scheme(), subset, &mut |_| guard.checkpoint())?;
+    build_level_pairs_into(oracle.scheme(), &index, guard, scratch)?;
     let mut table = FlatTable::unsolved(index.len());
     for &r in index.level(1) {
         guard.charge_memo(1)?;
@@ -488,10 +599,10 @@ fn nocp_dpccp_core<O: CardinalityOracle>(
     // resets) exactly the slots of that level's targets. This visits the
     // same pairs the per-target scan would, but in one sequential pass per
     // level whose random writes stay inside one level-sized window.
-    let mut acc_cost = vec![u64::MAX; index.len()];
-    let mut acc_split = vec![(0u32, 0u32); index.len()];
+    let acc_cost = &mut scratch.acc_cost;
+    let acc_split = &mut scratch.acc_split;
     for size in 2..=index.max_size() {
-        let level_pairs = &levels.by_level[size];
+        let level_pairs = &scratch.by_level[size];
         for &(t, r1, r2) in level_pairs {
             guard.checkpoint()?;
             // Unsolved children carry the MAX sentinel: the sum saturates
@@ -560,8 +671,19 @@ pub fn try_best_no_cartesian_ccp_with_memo<O: CardinalityOracle>(
         strategy: try_rebuild_flat(root, &index, &table)?,
         cost: table.costs[root as usize],
     };
+    // The export's flat subset representation is 64-bit (the persistent
+    // store's format); a subset over relations ≥ 64 cannot be persisted.
+    // Such schemes are far beyond full-DP reach anyway, so this is a typed
+    // error rather than a silent truncation.
+    if subset.to_u64().is_none() {
+        return Err(MjoinError::Internal(
+            "memo export requires all relations below index 64".into(),
+        ));
+    }
     let export = DpMemoExport {
-        subsets: (0..index.len() as u32).map(|r| index.subset(r).0).collect(),
+        subsets: (0..index.len() as u32)
+            .map(|r| index.subset(r).to_u64().expect("subset of a u64-fitting set fits"))
+            .collect(),
         costs: table.costs,
         splits: table.splits,
     };
@@ -579,7 +701,12 @@ pub fn plan_from_memo(memo: &DpMemoExport, within: RelSet) -> Result<Option<Plan
             "memo export tables are not parallel".into(),
         ));
     }
-    let Some(root) = memo.subsets.iter().position(|&s| s == within.0) else {
+    // Exported subsets are 64-bit; a target with members ≥ 64 can never be
+    // covered by a memo, so it simply misses.
+    let Some(within64) = within.to_u64() else {
+        return Ok(None);
+    };
+    let Some(root) = memo.subsets.iter().position(|&s| s == within64) else {
         return Ok(None);
     };
     if memo.costs[root] == u64::MAX && memo.splits[root].is_none() {
@@ -598,7 +725,7 @@ fn rebuild_from_export(r: usize, memo: &DpMemoExport, depth: usize) -> Result<St
     if depth > mjoin_hypergraph::MAX_RELATIONS {
         return Err(MjoinError::Internal("memo export splits are cyclic".into()));
     }
-    let set = RelSet(memo.subsets[r]);
+    let set = RelSet(u128::from(memo.subsets[r]));
     match memo.splits[r] {
         None => {
             if !set.is_singleton() {
@@ -1084,7 +1211,7 @@ pub fn try_best_no_cartesian_parallel<O: SyncCardinalityOracle>(
         // DPccp; the unit of scheduling here is one target subset, so the
         // level pair lists are scattered into a per-target CSR view, and
         // the merge back into the frozen table happens in rank order.
-        let index = SchemeIndex::try_new(scheme, subset)?;
+        let index = SchemeIndex::try_new_checked(scheme, subset, &mut |_| guard.checkpoint())?;
         let cands = build_ccp_candidates(&build_level_pairs(scheme, &index, guard)?, index.len());
         let mut table = FlatTable::unsolved(index.len());
         for &r in index.level(1) {

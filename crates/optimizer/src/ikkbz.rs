@@ -76,6 +76,64 @@ fn merge_chains(a: Vec<Module>, b: Vec<Module>) -> Vec<Module> {
     }
 }
 
+/// Solve the precedence tree rooted at `node`: returns the rank-sorted
+/// chain of modules below (not including) the root relation.
+fn solve(
+    node: usize,
+    parent: Option<usize>,
+    adjacency: &[Vec<usize>],
+    card: &[f64],
+    sel: &[Vec<f64>],
+) -> Vec<Module> {
+    let mut chain: Vec<Module> = Vec::new();
+    for &child in &adjacency[node] {
+        if Some(child) == parent {
+            continue;
+        }
+        let sub = solve(child, Some(node), adjacency, card, sel);
+        let t = sel[node][child] * card[child];
+        let mut module = Module {
+            rels: vec![child],
+            t,
+            c: t,
+        };
+        // Normalization: absorb chain heads that must precede their
+        // (higher-ranked) parent module.
+        let mut rest = sub.into_iter().peekable();
+        while let Some(head) = rest.peek() {
+            if module.rank() > head.rank() {
+                module = module.combine(rest.next().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        let mut child_chain = vec![module];
+        child_chain.extend(rest);
+        chain = merge_chains(chain, child_chain);
+    }
+    chain
+}
+
+/// The full IKKBZ linearization rooted at `root`, over a tree `adjacency`
+/// (local indices): the root followed by the rank-normalized module chain,
+/// flattened to one relation order. This is the precedence-graph engine
+/// shared by [`try_ikkbz`] (which left-deep-costs the order directly) and
+/// the linearized DP (`try_lindp`, which searches all bushy plans whose
+/// subtrees are contiguous in this order).
+pub(crate) fn linearize(
+    root: usize,
+    adjacency: &[Vec<usize>],
+    card: &[f64],
+    sel: &[Vec<f64>],
+) -> Vec<usize> {
+    let chain = solve(root, None, adjacency, card, sel);
+    let mut order = vec![root];
+    for m in &chain {
+        order.extend(m.rels.iter().copied());
+    }
+    order
+}
+
 /// IKKBZ over a tree join graph. Returns `None` when the join graph of
 /// `subset` is not a tree (cyclic or unconnected) — callers fall back to
 /// the DP planners.
@@ -149,52 +207,13 @@ pub fn try_ikkbz<O: CardinalityOracle>(
         }
     }
 
-    // Solve the precedence tree rooted at `node`: returns the rank-sorted
-    // chain of modules below (not including) the root relation.
-    fn solve(
-        node: usize,
-        parent: Option<usize>,
-        adjacency: &[Vec<usize>],
-        card: &[f64],
-        sel: &[Vec<f64>],
-    ) -> Vec<Module> {
-        let mut chain: Vec<Module> = Vec::new();
-        for &child in &adjacency[node] {
-            if Some(child) == parent {
-                continue;
-            }
-            let sub = solve(child, Some(node), adjacency, card, sel);
-            let t = sel[node][child] * card[child];
-            let mut module = Module {
-                rels: vec![child],
-                t,
-                c: t,
-            };
-            // Normalization: absorb chain heads that must precede their
-            // (higher-ranked) parent module.
-            let mut rest = sub.into_iter().peekable();
-            while let Some(head) = rest.peek() {
-                if module.rank() > head.rank() {
-                    module = module.combine(rest.next().expect("peeked"));
-                } else {
-                    break;
-                }
-            }
-            let mut child_chain = vec![module];
-            child_chain.extend(rest);
-            chain = merge_chains(chain, child_chain);
-        }
-        chain
-    }
-
     let mut best: Option<Plan> = None;
     for root in 0..n {
         guard.checkpoint()?;
-        let chain = solve(root, None, &adjacency, &card, &sel);
-        let mut order = vec![members[root]];
-        for m in &chain {
-            order.extend(m.rels.iter().map(|&local| members[local]));
-        }
+        let order: Vec<usize> = linearize(root, &adjacency, &card, &sel)
+            .into_iter()
+            .map(|local| members[local])
+            .collect();
         let strategy = Strategy::left_deep(&order);
         incr(Counter::IkkbzOrderings, 1);
         let cost = strategy.try_cost(oracle)?;

@@ -23,8 +23,12 @@
 //!   individually and product-free, components then multiplied in the
 //!   cheapest order.
 //!
-//! Greedy heuristics ([`greedy_bushy`], [`greedy_linear`]) cover the
-//! regimes where exact DP is infeasible.
+//! Between the exact DPs and the greedy heuristics ([`greedy_bushy`],
+//! [`greedy_linear`]) sit two polynomial rungs for the paper's ~100-join
+//! regime: [`try_lindp`] (IKKBZ-linearized interval DP — bushy plans whose
+//! subtrees are contiguous in a precedence order) and
+//! [`try_partitioned_dp`] (exact DPccp inside ≤ k-relation blocks, greedy
+//! recombination across the cuts).
 //!
 //! Costs are always the paper's `τ` (total tuples generated), supplied by a
 //! [`CardinalityOracle`](mjoin_cost::CardinalityOracle).
@@ -38,7 +42,9 @@ mod dp;
 mod explain;
 mod greedy;
 mod ikkbz;
+mod lindp;
 mod monotone;
+mod partdp;
 mod plan;
 
 pub use bottleneck::{best_bottleneck, bottleneck_of};
@@ -54,4 +60,8 @@ pub use dp::{
 };
 pub use greedy::{greedy_bushy, greedy_linear, try_greedy_bushy, try_greedy_linear};
 pub use ikkbz::{ikkbz, try_ikkbz};
+pub use lindp::{lindp, try_lindp};
+pub use partdp::{
+    partitioned_dp, try_partitioned_dp, try_partitioned_dp_with, DEFAULT_BLOCK_MAX,
+};
 pub use plan::{optimize, optimize_with, try_optimize, try_optimize_with, Plan, SearchSpace};

@@ -818,7 +818,7 @@ fn run_job(shared: &Arc<Shared>, job: &mut Job) -> String {
                     .iter()
                     .find_map(|(k, v)| (*k == "rung").then(|| v.as_str()).flatten());
                 let dp_class = match rung {
-                    Some(r) => matches!(r, "exhaustive" | "dp"),
+                    Some(r) => matches!(r, "exhaustive" | "dp" | "lindp" | "partdp"),
                     None => level == "reduced-dp",
                 };
                 mjoin_obs::incr(

@@ -11,8 +11,8 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use mjoin::failpoints::{self, ScopedFailpoint, SITES};
 use mjoin::{
-    optimize_robust, try_greedy_bushy, try_ikkbz, Budget, CardinalityOracle, Database,
-    ExactOracle, Guard, MjoinError, SearchSpace,
+    optimize_robust, try_greedy_bushy, try_ikkbz, try_lindp, try_partitioned_dp, Budget,
+    CardinalityOracle, Database, ExactOracle, Guard, MjoinError, SearchSpace,
 };
 use mjoin_gen::data;
 use mjoin_hypergraph::JoinTree;
@@ -105,6 +105,14 @@ fn provoke(site: &str) -> MjoinError {
         "optimizer::ikkbz" => {
             let mut oracle = ExactOracle::new(&db);
             try_ikkbz(&mut oracle, full, &guard).unwrap_err()
+        }
+        "optimizer::lindp" => {
+            let mut oracle = ExactOracle::new(&db);
+            try_lindp(&mut oracle, full, &guard).unwrap_err()
+        }
+        "optimizer::partdp" => {
+            let mut oracle = ExactOracle::new(&db);
+            try_partitioned_dp(&mut oracle, full, &guard).unwrap_err()
         }
         "optimizer::exhaustive" | "core::ladder" => {
             optimize_robust(&db, full, SearchSpace::All, Budget::unlimited(), None).unwrap_err()

@@ -153,6 +153,61 @@ fn rung_budget_consumption_is_deterministic() {
     }
 }
 
+/// A 60-relation query — hostile to every exact rung: the exhaustive
+/// enumeration is skipped outright (n > 7) and the full DP's `2⁶⁰` subset
+/// space devours its budget slice without finishing. The polynomial rungs
+/// must pick it up: under a 100 ms deadline the ladder answers from
+/// `LinDp` or `PartitionedDp` with a valid covering plan, never falling
+/// all the way to greedy.
+#[test]
+fn sixty_relation_chain_is_answered_by_a_polynomial_rung() {
+    let mut rng = StdRng::seed_from_u64(60);
+    let (cat, scheme) = schemes::chain(60);
+    // Domain 4 keeps the exact intermediates small (≈ tuples²/domain per
+    // step), so the polynomial rungs can afford their τ queries — the
+    // hostility here is the 2⁶⁰ search space, not the data volume.
+    let cfg = DataConfig {
+        tuples_per_relation: 2,
+        domain: 4,
+        ensure_nonempty: true,
+    };
+    let db = data::uniform(cat, scheme, &cfg, &mut rng);
+    // Real wall-clock deadline ⇒ sensitive to scheduler noise when the
+    // whole workspace's test binaries compete for cores: allow a couple
+    // of retries before declaring the rungs too slow for their slices.
+    let mut r = None;
+    for _ in 0..3 {
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(100));
+        let started = Instant::now();
+        let attempt = optimize_database_robust(&db, SearchSpace::All, budget, None).unwrap();
+        let elapsed = started.elapsed();
+        assert!(elapsed < Duration::from_secs(10), "took {elapsed:?}");
+        let answered_by = attempt.report.answered_by;
+        r = Some(attempt);
+        if matches!(answered_by, Rung::LinDp | Rung::PartitionedDp) {
+            break;
+        }
+    }
+    let r = r.expect("at least one attempt ran");
+
+    assert!(
+        matches!(r.report.answered_by, Rung::LinDp | Rung::PartitionedDp),
+        "a polynomial rung must answer the 60-relation chain: {}",
+        r.report
+    );
+    assert_eq!(r.plan.strategy.set(), db.scheme().full_set());
+    assert!(r.plan.strategy.validate(db.scheme()));
+    // The DP above it really was attempted and really did trip its budget.
+    assert!(
+        r.report
+            .attempts
+            .iter()
+            .any(|a| a.rung == Rung::Dp && a.outcome.contains("budget exceeded")),
+        "{}",
+        r.report
+    );
+}
+
 /// Cancellation from another thread interrupts a search that would
 /// otherwise run for a very long time (the 12-relation clique DP), and
 /// surfaces as `Cancelled` — not as a degraded answer and not as a hang.
